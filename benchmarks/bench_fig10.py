@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 10 (% decryption-bound incl. verification).
+
+Paper shape at rank=8/reg=8: verified schemes need more AES engines than
+Enc-only (tag pads add OTP blocks), with Ver-ECC the hungriest among the
+line-neutral schemes; all curves fall monotonically with engine count.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_figure10
+
+
+def test_figure10(benchmark, scale):
+    result = benchmark.pedantic(run_figure10, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    for family, per_scheme in result.fractions.items():
+        for series in per_scheme.values():
+            assert series == sorted(series, reverse=True), family
+
+    f32 = result.fractions["SLS 32-bit"]
+    assert sum(f32["ver_ecc"]) >= sum(f32["enc_only"])
+    # quantized family has no Ver-ECC entry
+    assert "ver_ecc" not in result.fractions["SLS 8-bit quantized"]
+    # everything is covered at the top of the sweep
+    for per_scheme in result.fractions.values():
+        for series in per_scheme.values():
+            assert series[-1] < 0.1

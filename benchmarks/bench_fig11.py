@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 11 (breakdown + batch-size scaling).
+
+Paper shape: end-to-end SecNDP speedup grows with batch size (2.3x-4.3x
+at batch 256) while SGX stays flat; the NDP portion shrinks relative to
+the CPU-TEE portion under SecNDP because the SLS time collapses.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_figure11
+
+
+def test_figure11(benchmark, scale):
+    result = benchmark.pedantic(run_figure11, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    for model, series in result.speedup_vs_batch.items():
+        # speedup grows with batch and ends above 1.5x
+        assert series[0] < series[-1]
+        assert series[-1] > 1.5, model
+        sgx = result.sgx_icl_vs_batch[model]
+        assert max(sgx) - min(sgx) < 0.15        # SGX does not scale
+        assert all(a > b for a, b in zip(series, sgx))
+
+    for model, b in result.breakdown.items():
+        total_base = b["base_cpu_ns"] + b["base_mem_ns"]
+        total_sec = b["sec_cpu_ns"] + b["sec_ndp_ns"]
+        assert total_base > total_sec            # SecNDP wins end-to-end
+        # memory dominates the baseline; SecNDP compresses that portion
+        assert b["base_mem_ns"] / total_base > 0.5
+        assert b["sec_ndp_ns"] / total_sec < b["base_mem_ns"] / total_base

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 7 (speedup vs #AES engines per NDP setting).
+
+Paper shape: SecNDP-Enc climbs with AES engines until it matches
+unprotected NDP in every (NDP_rank, NDP_reg) setting; at rank=8/reg=8 the
+unquantized SLS speedup reaches ~5.6x and quantized ~6.9x; quantization
+needs roughly a third of the engines; analytics peaks highest (7.46x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import run_figure7
+
+
+def test_figure7(benchmark, scale):
+    result = benchmark.pedantic(run_figure7, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    for family, settings in result.speedups.items():
+        for setting, entry in settings.items():
+            series = [v for k, v in entry.items() if k.startswith("SecNDP-Enc")]
+            # monotone in engines, saturating at the NDP bar
+            assert series == sorted(series), (family, setting)
+            assert series[-1] == pytest.approx(entry["NDP"], rel=0.05)
+
+    sls32 = result.speedups["SLS 32-bit"]
+    assert sls32[(8, 8)]["NDP"] > sls32[(1, 1)]["NDP"]
+    # quantization helps the NDP side
+    assert (
+        result.speedups["SLS 8-bit quantized"][(8, 8)]["NDP"]
+        > sls32[(8, 8)]["NDP"]
+    )
+    # analytics is the best case
+    assert result.speedups["Data analytics"][(8, 8)]["NDP"] > sls32[(8, 8)]["NDP"]

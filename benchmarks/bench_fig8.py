@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 8 (% packets decryption-bound, Enc-only).
+
+Paper shape: the bottlenecked fraction falls as AES engines are added and
+rises with NDP_rank (at rank=8, ~70% of SLS packets are covered by eight
+engines); the quantized workload needs about a third of the engines.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_figure8
+
+
+def test_figure8(benchmark, scale):
+    result = benchmark.pedantic(run_figure8, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    for family, per_rank in result.fractions.items():
+        for series in per_rank.values():
+            assert series == sorted(series, reverse=True), family
+        # more ranks -> more engines needed (compare area under the curves)
+        assert sum(per_rank["rank=8"]) >= sum(per_rank["rank=1"])
+
+    f32 = result.fractions["SLS 32-bit"]["rank=8"]
+    f8 = result.fractions["SLS 8-bit quantized"]["rank=8"]
+    assert sum(f8) <= sum(f32)  # quantization shifts the curve left
+    # With one engine an 8-rank system must be overwhelmingly bound...
+    assert f32[0] > 0.9
+    # ...and with the largest engine count it must be fully covered.
+    assert f32[-1] < 0.05

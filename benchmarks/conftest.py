@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md Sec. 4) and prints the rows/series the paper
+reports.  ``pytest-benchmark`` wraps the experiment drivers so repeated
+runs also give timing statistics for the harness itself.
+
+Scale: benchmarks default to ``DEFAULT_SCALE`` (seconds per experiment);
+set ``SECNDP_BENCH_SCALE=smoke`` for CI-fast runs or ``paper`` to attempt
+the full-scale configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE
+
+_SCALES = {
+    "smoke": SMOKE_SCALE,
+    "default": DEFAULT_SCALE,
+    "paper": PAPER_SCALE,
+}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return _SCALES[os.environ.get("SECNDP_BENCH_SCALE", "default")]

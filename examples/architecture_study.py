@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Architectural design-space tour of the SecNDP engine.
+
+Answers, with the cycle-level simulator, the sizing questions Sec. V/VII
+raise: how many AES engines does a given NDP configuration need, what do
+the verification-tag placements cost, and what does the engine cost in
+silicon?  This is the "ablation" companion to the paper's Figures 7-10.
+
+Run:  python examples/architecture_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import AreaModel, normalized_table5
+from repro.baselines import run_non_ndp
+from repro.errors import ConfigurationError
+from repro.ndp import (
+    AesEngineModel,
+    NdpConfig,
+    NdpSimulator,
+    NdpWorkload,
+    SimQuery,
+    TableGeometry,
+    TagScheme,
+)
+
+
+def make_workload(n_queries=48, pf=80, n_rows=100_000):
+    rng = np.random.default_rng(3)
+    tables = {0: TableGeometry(n_rows, row_bytes=128, result_bytes=128)}
+    queries = tuple(
+        SimQuery(0, tuple(int(x) for x in rng.integers(0, n_rows, size=pf)))
+        for _ in range(n_queries)
+    )
+    return NdpWorkload(tables=tables, queries=queries)
+
+
+def main() -> None:
+    workload = make_workload()
+    base_ns = run_non_ndp(workload).total_ns
+
+    # -- 1. AES engines needed per NDP_rank -------------------------------------
+    print("AES engines needed to stop being decryption-bound, per NDP_rank:")
+    for ranks in (1, 2, 4, 8):
+        run = NdpSimulator(NdpConfig(ranks, ranks)).run(workload)
+        needed = next(
+            n
+            for n in range(1, 33)
+            if run.decryption_bound_fraction(AesEngineModel(n)) < 0.05
+        )
+        speedup = base_ns / run.secndp_ns(AesEngineModel(needed))
+        print(f"  NDP_rank={ranks}: {needed:2d} engines -> {speedup:.2f}x speedup")
+
+    # -- 2. verification scheme costs ---------------------------------------------
+    print("\nverification-tag placement cost (rank=8, reg=8, 12 engines):")
+    aes = AesEngineModel(12)
+    enc_ns = None
+    for scheme in TagScheme:
+        try:
+            run = NdpSimulator(NdpConfig(8, 8, tag_scheme=scheme)).run(workload)
+        except ConfigurationError as exc:
+            print(f"  {scheme.value:10s}: infeasible ({exc})")
+            continue
+        ns = run.secndp_ns(aes)
+        if scheme is TagScheme.ENC_ONLY:
+            enc_ns = ns
+        overhead = (ns / enc_ns - 1) * 100 if enc_ns else 0.0
+        print(f"  {scheme.value:10s}: {ns / 1e3:9.1f} us  (+{overhead:.0f}% vs Enc-only)")
+
+    # -- 3. register pressure ---------------------------------------------------------
+    print("\nregister-count sweep at NDP_rank=8 (packet-level load balance):")
+    for regs in (1, 2, 4, 8, 16):
+        run = NdpSimulator(NdpConfig(8, regs)).run(workload)
+        print(f"  NDP_reg={regs:2d}: {run.ndp_only_ns / 1e3:8.1f} us over "
+              f"{len(run.records)} packets")
+
+    # -- 4. silicon + energy budget ------------------------------------------------------
+    area = AreaModel()
+    print("\nSecNDP engine area (45 nm):")
+    for engines in (4, 10, 16):
+        print(f"  {engines:2d} AES engines: {area.total_mm2(engines):.3f} mm^2")
+    norm = normalized_table5(pf=80)
+    print("\nmemory-energy bottom line (PF=80, vs unprotected non-NDP):")
+    for name, pct in norm.items():
+        print(f"  {name:22s} {pct:6.2f}%")
+
+    print("\narchitecture_study OK")
+
+
+if __name__ == "__main__":
+    main()

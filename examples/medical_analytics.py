@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Private medical data analytics over untrusted NDP (paper Sec. VI-A (2)).
+
+A gene-expression database (patients x genes) is stored encrypted; a
+researcher submits patient-ID lists and the untrusted NDP computes group
+summations over ciphertext.  From verified sums and sums-of-squares the
+processor derives group means and Welch t-statistics - discovering which
+genes are disease-associated without the memory side ever seeing a
+single expression value.
+
+Run:  python examples/medical_analytics.py
+"""
+
+import numpy as np
+
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.workloads import SecureGeneDatabase, gene_expression
+
+N_PATIENTS = 300
+N_GENES = 64
+
+
+def main() -> None:
+    data = gene_expression(
+        N_PATIENTS, N_GENES, n_disease_genes=5, effect_size=2.0, seed=11
+    )
+    print(
+        f"database: {data.n_patients} patients x {data.n_genes} genes, "
+        f"{int(data.is_case.sum())} cases "
+        f"(planted disease genes: {data.disease_genes.tolist()})"
+    )
+
+    params = SecNDPParams(element_bits=32)
+    processor = SecNDPProcessor(key=b"hospital-tee-key", params=params)
+    device = UntrustedNdpDevice(params)
+    db = SecureGeneDatabase(data, processor, device, verify=True)
+
+    # -- verified group means ---------------------------------------------------
+    case_ids = np.flatnonzero(data.is_case)
+    sums = db.group_sum(case_ids)
+    means = sums / len(case_ids)
+    plain_means = data.expression[case_ids].mean(axis=0)
+    err = np.max(np.abs(means - plain_means))
+    print(f"case-group means computed securely (max fixed-point error "
+          f"{err:.4f})")
+
+    # -- genome-wide t-test screen ----------------------------------------------
+    hits = []
+    for gene in range(N_GENES):
+        result = db.t_test(gene)
+        if result.significant_at_3sigma:
+            hits.append((gene, round(result.t_statistic, 1)))
+    found = {g for g, _ in hits}
+    planted = set(data.disease_genes.tolist())
+    print(f"significant genes (|t| > 3): {hits}")
+    print(f"recovered {len(found & planted)}/{len(planted)} planted genes, "
+          f"{len(found - planted)} false positives")
+    assert len(found & planted) >= len(planted) - 1, "screen missed the signal"
+
+    print("medical_analytics OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""SecNDP over near-storage NDP (SmartSSD / RecSSD-class hardware).
+
+The paper claims SecNDP "can be applied to any TEE ... and work with any
+untrusted near-memory or near-storage processing hardware" (Sec. V).
+This example exercises that generality end to end:
+
+* functionally - the exact same ciphertext, tags and protocol serve a
+  "drive-side" device object (the scheme never references DRAM);
+* architecturally - the SSD timing model shows pooling inside the drive
+  beating the pull-everything-over-NVMe host baseline, and that a single
+  host AES engine keeps up with SSD-class bandwidth (versus ~10 engines
+  for 8-rank DRAM NDP).
+
+Run:  python examples/near_storage.py
+"""
+
+import numpy as np
+
+from repro.analysis import BandwidthModel
+from repro.core import (
+    SecNDPParams,
+    SecNDPProcessor,
+    UntrustedNdpDevice,
+    deserialize_matrix,
+    serialize_matrix,
+)
+from repro.ndp import (
+    AesEngineModel,
+    NdpWorkload,
+    NearStorageSimulator,
+    SimQuery,
+    SsdGeometry,
+    TableGeometry,
+)
+
+
+def main() -> None:
+    # -- functional: the protocol does not care where ciphertext lives ---------
+    params = SecNDPParams(element_bits=32)
+    processor = SecNDPProcessor(key=b"near-storage-key", params=params)
+
+    table = np.random.default_rng(1).integers(0, 1000, (256, 32)).astype(np.uint32)
+    enc = processor.encrypt_matrix(table, 0x4000, "cold-tier", with_tags=True)
+
+    # Ship the container to the drive (serialization = what lands on flash).
+    blob = serialize_matrix(enc)
+    print(f"encrypted container: {len(blob)} bytes "
+          f"({enc.n_rows} rows + {len(enc.tags)} tags)")
+
+    drive = UntrustedNdpDevice(params)  # the SSD controller's view
+    drive.store("cold-tier", deserialize_matrix(blob, params))
+
+    rows, weights = [7, 99, 200], [1, 2, 1]
+    res = processor.weighted_row_sum(drive, "cold-tier", rows, weights)
+    expected = (np.array(weights)[:, None] * table[rows].astype(np.int64)).sum(axis=0)
+    assert np.array_equal(res.values.astype(np.int64), expected)
+    print("verified in-drive pooling matches plaintext")
+
+    # -- architectural: drive-side pooling vs NVMe host baseline -----------------
+    rng = np.random.default_rng(2)
+    workload = NdpWorkload(
+        tables={0: TableGeometry(n_rows=500_000, row_bytes=128, result_bytes=128)},
+        queries=tuple(
+            SimQuery(0, tuple(int(x) for x in rng.integers(0, 500_000, size=400)))
+            for _ in range(32)
+        ),
+    )
+    result = NearStorageSimulator(SsdGeometry()).run(workload)
+    one_engine = AesEngineModel(1)
+    print(f"host baseline: {result.host_us / 1e3:.2f} ms "
+          f"({result.pages_read} pages over NVMe)")
+    print(f"near-storage NDP: {result.ndp_us / 1e3:.2f} ms "
+          f"-> {result.ndp_speedup:.2f}x")
+    print(f"SecNDP (1 AES engine): {result.secndp_us(one_engine) / 1e3:.2f} ms "
+          f"-> {result.secndp_speedup(one_engine):.2f}x "
+          f"(no engine provisioning needed at SSD bandwidth)")
+
+    dram_engines = BandwidthModel().engines_for_burst_mode(8)
+    print(f"compare: 8-rank DRAM NDP needs ~{dram_engines} engines in burst mode")
+    assert result.secndp_speedup(one_engine) > 1.5
+
+    print("near_storage OK")
+
+
+if __name__ == "__main__":
+    main()

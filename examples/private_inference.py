@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Private-model MLP inference: IP-protected weights in untrusted memory.
+
+The paper's introduction motivates SecNDP with "machine learning
+inference using private models (e.g., models that need IP protection or
+may reveal the private training dataset)".  This example serves exactly
+that scenario with the :class:`~repro.workloads.private_mlp.PrivateMlp`
+API: a small classifier's weight matrices live arithmetically encrypted
+in untrusted memory, every layer's GEMV runs as verified weighted row
+summations over ciphertext, and a model-stealing memory dump gets
+nothing.
+
+Run:  python examples/private_inference.py
+"""
+
+import numpy as np
+
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import VerificationError
+from repro.workloads import PrivateMlp
+
+
+def make_classifier(rng):
+    """A 2-class classifier separating two Gaussian blobs."""
+    w1 = rng.normal(0, 0.6, size=(8, 24))
+    b1 = rng.normal(0, 0.05, size=24)
+    w2 = rng.normal(0, 0.6, size=(24, 2))
+    return (w1, b1), (w2, None)
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    (w1, b1), (w2, _) = make_classifier(rng)
+
+    params = SecNDPParams(element_bits=32)
+    processor = SecNDPProcessor(key=b"model-owner-key!", params=params)
+    device = UntrustedNdpDevice(params)
+
+    mlp = PrivateMlp(processor, device, quantization="column")
+    mlp.add_layer(w1, b1)
+    mlp.add_layer(w2)
+    print("2-layer MLP loaded: weights encrypted + tagged in untrusted memory")
+
+    # -- the memory side cannot read the model ---------------------------------
+    stolen = device.stored("layer0").ciphertext
+    corr = np.corrcoef(
+        stolen.reshape(-1).astype(np.float64)[: w1.size], w1.reshape(-1)
+    )[0, 1]
+    print(f"model-stealing dump: |corr(ciphertext, weights)| = {abs(corr):.4f}")
+    assert abs(corr) < 0.15
+
+    # -- inference through the drive matches the float model --------------------
+    x_batch = rng.normal(0, 1, size=(8, 8))
+    max_err = 0.0
+    agreements = 0
+    for x in x_batch:
+        secure = mlp.forward(x)
+        ref = np.maximum(x @ w1 + b1, 0) @ w2
+        max_err = max(max_err, float(np.max(np.abs(secure - ref))))
+        agreements += int(np.argmax(secure) == np.argmax(ref))
+    print(f"secure vs float logits: max |err| = {max_err:.3f}, "
+          f"argmax agreement {agreements}/8")
+    assert agreements == 8
+
+    # -- weight tampering is caught before any wrong answer escapes -------------
+    device.corrupt_stored_ciphertext("layer1", 3, 0, delta=9)
+    try:
+        mlp.forward(x_batch[0])
+        raise SystemExit("tampered weights were NOT detected")
+    except VerificationError:
+        print("tampered layer-1 weights detected by the verification tag")
+
+    print("private_inference OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Energy, area and accuracy analyses behind Tables IV and V."""
+
+from .accuracy import AccuracyReport, quantization_accuracy
+from .bandwidth import BandwidthModel
+from .area import PAPER_AES_ENGINES, PAPER_TOTAL_MM2, AreaModel
+from .energy import (
+    DimmEnergyParams,
+    EnergyRow,
+    EngineEnergyParams,
+    TABLE5_SCENARIOS,
+    normalized_table5,
+    table5_rows,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "quantization_accuracy",
+    "BandwidthModel",
+    "PAPER_AES_ENGINES",
+    "PAPER_TOTAL_MM2",
+    "AreaModel",
+    "DimmEnergyParams",
+    "EnergyRow",
+    "EngineEnergyParams",
+    "TABLE5_SCENARIOS",
+    "normalized_table5",
+    "table5_rows",
+]

@@ -1,0 +1,157 @@
+"""Counter integrity tree - the conventional-TEE substrate SecNDP avoids.
+
+Counter-mode memory protection must keep version counters fresh against
+replay; processors without on-chip space for all counters protect them
+with a Merkle-style tree whose root stays on-chip (Rogers et al. [62],
+Intel SGX's MEE).  The paper contrasts this with SecNDP's software-managed
+versions (Sec. V-A) and attributes SGX-CFL's collapse to the tree
+(footnote 6).  This module supplies both halves of that argument:
+
+* a **functional tree** (:class:`CounterIntegrityTree`): AES-CBC-MAC
+  parent nodes over counter leaves, verify/update paths, on-chip root -
+  so tests can demonstrate that leaf tampering and subtree replay are
+  caught exactly when the threat model says they must be;
+* a **cost model** (:meth:`extra_accesses_per_counter_miss`): how many
+  additional memory touches a counter-cache miss costs, the quantity
+  behind the MEE bandwidth factors of :mod:`repro.baselines.sgx`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..crypto.aes import AES128, BLOCK_BYTES
+from ..errors import ConfigurationError, VerificationError
+
+__all__ = ["CounterIntegrityTree"]
+
+
+class CounterIntegrityTree:
+    """An arity-``k`` MAC tree over version counters.
+
+    Leaves hold 64-bit counters; each internal node is a CBC-MAC (under
+    the processor key) of its children, and the root lives "on chip"
+    (plain attribute, but semantically trusted - tests never let the
+    adversary touch it).
+    """
+
+    def __init__(self, key: bytes, n_counters: int, arity: int = 8):
+        if n_counters < 1:
+            raise ConfigurationError("need at least one counter")
+        if arity < 2:
+            raise ConfigurationError("tree arity must be >= 2")
+        self._aes = AES128(key)
+        self.arity = arity
+        self.n_counters = n_counters
+        # levels[0] = leaves (counters); levels[-1] = single root MAC.
+        self.levels: List[List[int]] = [[0] * n_counters]
+        width = n_counters
+        while width > 1:
+            width = -(-width // arity)
+            self.levels.append([0] * width)
+        self._rebuild_all()
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of levels above the leaves."""
+        return len(self.levels) - 1
+
+    @property
+    def root(self) -> int:
+        return self.levels[-1][0]
+
+    def _children(self, level: int, index: int) -> List[int]:
+        child_level = self.levels[level - 1]
+        start = index * self.arity
+        return child_level[start : start + self.arity]
+
+    def _node_mac(self, level: int, index: int) -> int:
+        """CBC-MAC over (level, index, children) under the tree key."""
+        state = ((level & 0xFF) << 120) | (index & ((1 << 64) - 1))
+        for child in self._children(level, index):
+            block = (state ^ child) & ((1 << 128) - 1)
+            state = self._aes.encrypt_int(block)
+        return state
+
+    def _rebuild_all(self) -> None:
+        for level in range(1, len(self.levels)):
+            for index in range(len(self.levels[level])):
+                self.levels[level][index] = self._node_mac(level, index)
+
+    # -- operations ------------------------------------------------------------------
+
+    def update(self, counter_index: int, value: int) -> None:
+        """Write a counter and refresh its path to the root."""
+        self._check_index(counter_index)
+        self.levels[0][counter_index] = value
+        index = counter_index
+        for level in range(1, len(self.levels)):
+            index //= self.arity
+            self.levels[level][index] = self._node_mac(level, index)
+
+    def read_verified(self, counter_index: int) -> int:
+        """Read a counter, verifying its path against the on-chip root."""
+        self._check_index(counter_index)
+        index = counter_index
+        for level in range(1, len(self.levels)):
+            index //= self.arity
+            expected = self._node_mac(level, index)
+            stored = self.levels[level][index]
+            if stored != expected:
+                raise VerificationError(
+                    f"integrity-tree mismatch at level {level}, node {index}"
+                )
+        return self.levels[0][counter_index]
+
+    def _check_index(self, counter_index: int) -> None:
+        if not 0 <= counter_index < self.n_counters:
+            raise ConfigurationError(
+                f"counter {counter_index} out of range [0, {self.n_counters})"
+            )
+
+    # -- adversarial access (the attacker owns all levels except the root) -------------
+
+    def tamper_leaf(self, counter_index: int, value: int) -> None:
+        self.levels[0][counter_index] = value
+
+    def tamper_node(self, level: int, index: int, value: int) -> None:
+        if level >= len(self.levels) - 1:
+            raise ConfigurationError("the root is on-chip; attacker cannot reach it")
+        self.levels[level][index] = value
+
+    def replay_subtree(self, counter_index: int, snapshot: dict) -> None:
+        """Restore a previously captured leaf-to-(root-1) path."""
+        for (level, index), value in snapshot.items():
+            if level >= len(self.levels) - 1:
+                continue  # root not replayable
+            self.levels[level][index] = value
+
+    def snapshot_path(self, counter_index: int) -> dict:
+        """Capture a counter's authentication path (attacker's transcript)."""
+        out = {(0, counter_index): self.levels[0][counter_index]}
+        index = counter_index
+        for level in range(1, len(self.levels)):
+            index //= self.arity
+            out[(level, index)] = self.levels[level][index]
+        return out
+
+    # -- cost model ---------------------------------------------------------------------
+
+    def extra_accesses_per_counter_miss(self, cached_levels: int = 1) -> int:
+        """Memory touches to verify one counter when the top
+        ``cached_levels`` tree levels are held in the on-chip metadata
+        cache (the root is always on-chip and free)."""
+        if cached_levels < 0:
+            raise ConfigurationError("cached_levels must be >= 0")
+        walk = self.depth - cached_levels
+        return max(walk, 0) + 1  # +1: the counter leaf itself
+
+    @staticmethod
+    def depth_for(n_counters: int, arity: int = 8) -> int:
+        """Closed-form depth without building a tree (sizing studies)."""
+        if n_counters <= 1:
+            return 0
+        return math.ceil(math.log(n_counters, arity))

@@ -1,0 +1,30 @@
+"""Unprotected NDP baseline - the red bars of Fig. 7.
+
+Simply the NDP simulator with no SecNDP engine attached: packet latency
+is the DRAM-side latency alone.  Shares :class:`NdpRunResult` with the
+SecNDP path so comparisons use the very same packet stream, matching the
+paper's claim that SecNDP leaves NDP traffic unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..memsim.timing import DDR4Timing, DramGeometry
+from ..ndp.packets import NdpWorkload
+from ..ndp.simulator import NdpConfig, NdpRunResult, NdpSimulator
+
+__all__ = ["run_unprotected_ndp"]
+
+
+def run_unprotected_ndp(
+    workload: NdpWorkload,
+    ndp_ranks: int = 8,
+    ndp_regs: int = 8,
+    timing: Optional[DDR4Timing] = None,
+    geometry: Optional[DramGeometry] = None,
+) -> NdpRunResult:
+    """Replay the workload on plain NDP hardware (no encryption)."""
+    config = NdpConfig(ndp_ranks=ndp_ranks, ndp_regs=ndp_regs)
+    sim = NdpSimulator(config, timing=timing, geometry=geometry)
+    return sim.run(workload)

@@ -1,0 +1,130 @@
+"""Command-line interface: regenerate any table/figure from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table3 [--scale smoke|default|paper]
+    python -m repro fig7 --scale default
+    python -m repro all --scale smoke
+
+Each experiment prints the same rows/series the paper reports (see
+DESIGN.md Sec. 4 for the experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .harness.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
+from .harness.export import export_results
+from .harness.experiments import (
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+_SCALES: Dict[str, ExperimentScale] = {
+    "smoke": SMOKE_SCALE,
+    "default": DEFAULT_SCALE,
+    "paper": PAPER_SCALE,
+}
+
+#: name -> (description, runner taking a scale)
+EXPERIMENTS: Dict[str, tuple] = {
+    "table3": (
+        "end-to-end speedup vs baselines and SGX (Table III)",
+        lambda scale: run_table3(scale),
+    ),
+    "table4": (
+        "LogLoss under quantization schemes (Table IV)",
+        lambda scale: run_table4(),
+    ),
+    "table5": (
+        "memory energy pJ/bit (Table V)",
+        lambda scale: run_table5(scale),
+    ),
+    "fig7": (
+        "speedup vs #AES engines per NDP setting (Figure 7)",
+        lambda scale: run_figure7(scale),
+    ),
+    "fig8": (
+        "% packets decryption-bound, Enc-only (Figure 8)",
+        lambda scale: run_figure8(scale),
+    ),
+    "fig9": (
+        "verification-scheme speedups (Figure 9)",
+        lambda scale: run_figure9(scale),
+    ),
+    "fig10": (
+        "% packets decryption-bound incl. verification (Figure 10)",
+        lambda scale: run_figure10(scale),
+    ),
+    "fig11": (
+        "end-to-end breakdown + batch scaling (Figure 11)",
+        lambda scale: run_figure11(scale),
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SecNDP (HPCA 2022) reproduction - experiment runner",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run ('list' to enumerate, 'all' for everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="experiment scale (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as a JSON bundle to PATH",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"  {name:8s} {description}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    scale = _SCALES[args.scale]
+    collected = {}
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"== {name}: {description} (scale={scale.name}) ==")
+        started = time.time()
+        result = runner(scale)
+        collected[name] = result
+        print(result.render())
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    if args.json:
+        path = export_results(collected, args.json)
+        print(f"results written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: SecNDP encryption, MAC, and protocols.
+
+Public surface:
+
+* :class:`SecNDPParams` - shared widths and moduli (Table VI).
+* :class:`ArithmeticEncryptor` / :class:`EncryptedMatrix` - Alg. 1.
+* :class:`LinearChecksum` / :class:`MultiPointChecksum` - Alg. 2 / Alg. 8.
+* :class:`EncryptedLinearMac` - Alg. 3.
+* :class:`SecNDPProcessor` / :class:`UntrustedNdpDevice` - Alg. 4 / 5.
+* :class:`WeightedSummationOracles` - Alg. 6 / 7 security-game oracles.
+* :class:`SecNDPEngine` / :class:`OtpPu` - functional engine model (Sec. V).
+* :class:`VersionManager` - software version management (Sec. V-A).
+"""
+
+from .checksum import LinearChecksum, MultiPointChecksum
+from .encryption import ArithmeticEncryptor, EncryptedMatrix
+from .engine import OtpPu, SecNDPEngine
+from .mac import EncryptedLinearMac
+from .oracles import SignedTranscript, WeightedSummationOracles
+from .params import SecNDPParams
+from .serialization import deserialize_matrix, serialize_matrix
+from .protocol import SecNDPProcessor, UntrustedNdpDevice, WeightedSumResult
+from .versions import DEFAULT_VERSION_BUDGET, VersionManager
+
+__all__ = [
+    "LinearChecksum",
+    "MultiPointChecksum",
+    "ArithmeticEncryptor",
+    "EncryptedMatrix",
+    "OtpPu",
+    "SecNDPEngine",
+    "EncryptedLinearMac",
+    "SignedTranscript",
+    "WeightedSummationOracles",
+    "SecNDPParams",
+    "serialize_matrix",
+    "deserialize_matrix",
+    "SecNDPProcessor",
+    "UntrustedNdpDevice",
+    "WeightedSumResult",
+    "DEFAULT_VERSION_BUDGET",
+    "VersionManager",
+]

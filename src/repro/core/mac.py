@@ -1,0 +1,92 @@
+"""Encrypted linear MAC - Algorithm 3, ``el-MAC(K, P_i, Addr_i)``.
+
+MAC-then-encrypt: the per-row checksum ``T_i`` from Alg. 2 is itself
+arithmetically encrypted in the tag field, ``C_{T_i} = T_i - E_{T_i} mod
+q`` with the tag pad ``E_{T_i}`` derived from the *row* address in the
+``E_10`` cipher domain.  The encrypted tags are stored next to (or apart
+from) the data in untrusted memory; because encryption is linear in
+``GF(q)``, the NDP can combine tags exactly like data
+(``C_{T_res} = a x C_T``) and the processor can combine tag pads
+(``E_{T_res} = a x E_T``) without fetching anything.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..crypto.prime_field import PrimeField
+from ..crypto.tweaked import DOMAIN_TAG, TweakedCipher
+from .checksum import LinearChecksum, MultiPointChecksum
+from .encryption import EncryptedMatrix
+from .params import SecNDPParams
+
+__all__ = ["EncryptedLinearMac"]
+
+
+class EncryptedLinearMac:
+    """Generates and encrypts per-row verification tags (Alg. 2 + Alg. 3)."""
+
+    def __init__(
+        self,
+        cipher: TweakedCipher,
+        params: SecNDPParams,
+        checksum: "LinearChecksum | MultiPointChecksum | None" = None,
+    ):
+        self.cipher = cipher
+        self.params = params
+        self.field: PrimeField = params.field()
+        # Either the single-point hash of Alg. 2 (default) or the
+        # multi-point variant of Alg. 8; both expose key_for/row_tag.
+        self.checksum = checksum or LinearChecksum(cipher, params)
+
+    def tag_pad(self, row_addr: int, version: int) -> int:
+        """``E_{T_i}`` - first ``w_t`` bits of ``E(K, 10 || paddr(P_i) || v)``."""
+        pad = self.cipher.encrypt_counter_int(DOMAIN_TAG, row_addr, version)
+        return self.field.reduce(pad >> (self.params.block_bits - self.params.tag_bits))
+
+    def encrypt_tag(self, tag: int, row_addr: int, version: int) -> int:
+        """``C_{T_i} = T_i - E_{T_i} mod q`` (Alg. 3 line 5)."""
+        return self.field.sub(tag, self.tag_pad(row_addr, version))
+
+    def decrypt_tag(self, encrypted_tag: int, row_addr: int, version: int) -> int:
+        """Inverse of :meth:`encrypt_tag`: ``T_i = C_{T_i} + E_{T_i} mod q``."""
+        return self.field.add(encrypted_tag, self.tag_pad(row_addr, version))
+
+    def attach_tags(
+        self,
+        encrypted: EncryptedMatrix,
+        plaintext: np.ndarray,
+        checksum_version: int,
+        tag_version: int,
+    ) -> None:
+        """Compute and attach ``C_{T_i}`` for every row of ``encrypted``.
+
+        ``plaintext`` is needed because tags authenticate the plaintext
+        (the MAC is computed before encryption); in hardware this is the
+        `ArithEnc` instruction path where the verification engine sees the
+        data as it is being encrypted (Sec. V-E1).
+        """
+        plaintext = np.asarray(plaintext)
+        if plaintext.shape != encrypted.ciphertext.shape:
+            raise ValueError("plaintext/ciphertext shape mismatch")
+        key = self.checksum.key_for(encrypted.base_addr, checksum_version)
+        tags = []
+        for i, row in enumerate(plaintext):
+            tag = self.checksum.row_tag(row, key)
+            tags.append(self.encrypt_tag(tag, encrypted.row_addr(i), tag_version))
+        encrypted.tags = tags
+        encrypted.checksum_version = checksum_version
+        encrypted.tag_version = tag_version
+
+    def tag_pads_for_rows(
+        self, encrypted: EncryptedMatrix, rows: Sequence[int]
+    ) -> list:
+        """Regenerate ``E_{T_k}`` for the rows of a query (Alg. 5 lines 11-13)."""
+        if encrypted.tag_version is None:
+            raise ValueError("matrix has no attached tags")
+        return [
+            self.tag_pad(encrypted.row_addr(int(i)), encrypted.tag_version)
+            for i in rows
+        ]

@@ -1,0 +1,312 @@
+"""The SecNDP computation protocols - Algorithms 4 and 5.
+
+Two roles cooperate over a bus, exactly as in the appendix protocol
+listings:
+
+* :class:`UntrustedNdpDevice` - the memory-side party.  It only ever sees
+  ciphertext ``C`` and encrypted tags ``C_T``; its operations (weighted
+  summation in the ring, weighted tag summation in the field) are
+  *identical* to what an unprotected NDP PU would execute, which is the
+  paper's key deployment claim (Sec. IV-D: "there is no modification in
+  the NDP implementation needed").
+* :class:`SecNDPProcessor` - the trusted party.  It regenerates OTPs from
+  addresses and versions (no memory traffic), runs the same weighted
+  summation over its pad share, adds the two shares to decrypt, and
+  verifies the result against the tag reconstruction of Alg. 5.
+
+Overflow semantics (paper footnote 1 / Thm. A.2): ring arithmetic wraps
+silently, but any column whose *integer* weighted sum of residues reaches
+``2^w_e`` breaks the tag identity by a multiple of ``2^w_e``, so
+verification detects it.  Applications are expected to budget
+``PF * max(a) * max(P) < 2^w_e`` (the DLRM and analytics workloads do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..crypto.tweaked import TweakedCipher
+from ..errors import VerificationError
+from .checksum import LinearChecksum, MultiPointChecksum
+from .encryption import ArithmeticEncryptor, EncryptedMatrix
+from .mac import EncryptedLinearMac
+from .params import SecNDPParams
+from .versions import VersionManager
+
+__all__ = [
+    "UntrustedNdpDevice",
+    "SecNDPProcessor",
+    "WeightedSumResult",
+]
+
+
+@dataclass
+class WeightedSumResult:
+    """What comes back from a verified weighted-summation query.
+
+    ``values`` are plaintext ring residues; ``verified`` records whether a
+    tag check was performed (and passed - a failed check raises instead).
+    """
+
+    values: np.ndarray
+    verified: bool
+
+
+class UntrustedNdpDevice:
+    """Memory-side party: stores ciphertext, computes over it on request.
+
+    Everything this class holds (ciphertext, encrypted tags) and computes
+    is considered attacker-visible and attacker-controllable in the threat
+    model (Sec. II).  The ``tamper_*`` hooks let tests and examples inject
+    exactly the misbehaviours the verification scheme must catch.
+    """
+
+    def __init__(self, params: SecNDPParams):
+        self.params = params
+        self.ring = params.ring()
+        self.field = params.field()
+        self._store: dict = {}
+        # Fault-injection state (None = honest device).
+        self._result_delta: Optional[int] = None
+        self._tag_delta: Optional[int] = None
+
+    # -- storage --------------------------------------------------------------
+
+    def store(self, name: str, encrypted: EncryptedMatrix) -> None:
+        """Receive ciphertext (the T0 initialisation arrow of Fig. 4)."""
+        self._store[name] = encrypted
+
+    def stored(self, name: str) -> EncryptedMatrix:
+        return self._store[name]
+
+    # -- honest NDP operations (identical to unprotected NDP) -----------------
+
+    def weighted_row_sum(
+        self, name: str, rows: Sequence[int], weights: Sequence[int]
+    ) -> np.ndarray:
+        """``C_res_j = sum_k a_k * C_{i_k, j} mod 2^w_e`` (Alg. 5 line 5)."""
+        enc = self._store[name]
+        rows = np.asarray(rows, dtype=np.int64)
+        c_rows = enc.ciphertext[rows]
+        result = self.ring.dot(np.asarray(weights), c_rows)
+        if self._result_delta is not None:
+            result = result.copy()
+            result[0] = self.ring.add(result[0], self._result_delta)
+        return result
+
+    def weighted_element_sum(
+        self,
+        name: str,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        weights: Sequence[int],
+    ) -> int:
+        """``C_res = sum_k a_k * C_{i_k, j_k} mod 2^w_e`` (Alg. 4 line 7)."""
+        enc = self._store[name]
+        elems = enc.ciphertext[np.asarray(rows), np.asarray(cols)]
+        total = self.ring.dot(np.asarray(weights), elems[:, None])[0]
+        if self._result_delta is not None:
+            total = self.ring.add(total, self._result_delta)
+        return int(total)
+
+    def weighted_tag_sum(
+        self, name: str, rows: Sequence[int], weights: Sequence[int]
+    ) -> int:
+        """``C_{T_res} = sum_k a_k * C_{T_k} mod q`` (Alg. 5 line 15)."""
+        enc = self._store[name]
+        if enc.tags is None:
+            raise ValueError(f"matrix {name!r} stored without tags")
+        tag_values = [enc.tags[int(i)] for i in rows]
+        result = self.field.dot([int(w) for w in weights], tag_values)
+        if self._tag_delta is not None:
+            result = self.field.add(result, self._tag_delta)
+        return result
+
+    # -- adversarial hooks -----------------------------------------------------
+
+    def tamper_results(self, delta: int) -> None:
+        """Make the device add ``delta`` to every returned data result."""
+        self._result_delta = delta
+
+    def tamper_tags(self, delta: int) -> None:
+        """Make the device add ``delta`` to every returned tag result."""
+        self._tag_delta = delta
+
+    def behave_honestly(self) -> None:
+        self._result_delta = None
+        self._tag_delta = None
+
+    def corrupt_stored_ciphertext(self, name: str, i: int, j: int, delta: int) -> None:
+        """Flip stored ciphertext in place (memory tampering / bit flips)."""
+        enc = self._store[name]
+        enc.ciphertext[i, j] = self.ring.add(enc.ciphertext[i, j], delta)
+
+    def replay_stored_tag(self, name: str, i: int, stale_tag: int) -> None:
+        """Replace a stored tag with a stale value (replay attack)."""
+        enc = self._store[name]
+        if enc.tags is None:
+            raise ValueError("no tags to replay")
+        enc.tags[i] = stale_tag
+
+
+class SecNDPProcessor:
+    """Trusted party: encrypts, regenerates pads, decrypts, verifies.
+
+    Parameters
+    ----------
+    key:
+        The processor secret key ``K`` (16 bytes).
+    params:
+        Shared scheme parameters.
+    versions:
+        Version manager; a default (64-region budget) is created if absent.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        params: Optional[SecNDPParams] = None,
+        versions: Optional[VersionManager] = None,
+        multipoint_checksum: bool = False,
+    ):
+        self.params = params or SecNDPParams()
+        self.cipher: TweakedCipher = self.params.cipher(key)
+        self.ring = self.params.ring()
+        self.field = self.params.field()
+        self.encryptor = ArithmeticEncryptor(self.cipher, self.params)
+        # multipoint_checksum selects the Alg. 8 variant (appendix D),
+        # which extracts cnt_s = w_c/w_t evaluation points per cipher
+        # block and tightens the forgery bound to m/(cnt_s * q).
+        checksum = (
+            MultiPointChecksum(self.cipher, self.params)
+            if multipoint_checksum
+            else None
+        )
+        self.mac = EncryptedLinearMac(self.cipher, self.params, checksum=checksum)
+        self.checksum = self.mac.checksum
+        self.versions = versions or VersionManager(
+            version_bits=self.params.layout.version_bits
+        )
+
+    # -- initialisation (T0 in Fig. 4) ----------------------------------------
+
+    def encrypt_matrix(
+        self,
+        plaintext: np.ndarray,
+        base_addr: int,
+        region: str,
+        with_tags: bool = True,
+    ) -> EncryptedMatrix:
+        """Run ``ArithEnc``: encrypt and (optionally) tag a matrix.
+
+        ``plaintext`` holds ring residues.  Three independent versions are
+        drawn for the three cipher domains, matching Alg. 1/2/3 each
+        calling ``V()`` separately.
+        """
+        data_version = self.versions.fresh(f"{region}/data")
+        encrypted = self.encryptor.encrypt(plaintext, base_addr, data_version)
+        if with_tags:
+            checksum_version = self.versions.fresh(f"{region}/checksum")
+            tag_version = self.versions.fresh(f"{region}/tag")
+            self.mac.attach_tags(encrypted, plaintext, checksum_version, tag_version)
+        return encrypted
+
+    # -- queries (T1 in Fig. 4) -------------------------------------------------
+
+    def weighted_row_sum(
+        self,
+        device: UntrustedNdpDevice,
+        name: str,
+        rows: Sequence[int],
+        weights: Sequence[int],
+        verify: bool = True,
+    ) -> WeightedSumResult:
+        """Full Alg. 4 + Alg. 5 for a row-vector weighted summation.
+
+        Computes ``res_j = sum_k a_k * P_{i_k, j} mod 2^w_e`` for every
+        column ``j``, with optional tag verification.  This is exactly the
+        SLS / pooling primitive the evaluation offloads to NDP.
+        """
+        weights_ring = self.ring.encode(np.asarray(weights))
+        enc = device.stored(name)
+
+        # NDP share: computed remotely over ciphertext.
+        c_res = device.weighted_row_sum(name, rows, weights_ring)
+
+        # Processor share: same operation over regenerated pads (OTP PU).
+        pads = self.encryptor.pads_for_rows(enc, rows)
+        e_res = self.ring.dot(weights_ring, pads)
+
+        # The one adder on the critical path (Sec. V-E3).
+        res = self.ring.add(c_res, e_res)
+
+        if verify:
+            self._verify_row_sum(device, enc, name, rows, weights_ring, res)
+        return WeightedSumResult(values=res, verified=verify)
+
+    def weighted_element_sum(
+        self,
+        device: UntrustedNdpDevice,
+        name: str,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        weights: Sequence[int],
+    ) -> int:
+        """Scalar Alg. 4: ``res = sum_k a_k * P_{i_k, j_k} mod 2^w_e``.
+
+        Element-granular queries cannot be tag-verified (tags cover whole
+        rows), matching the paper where verification is defined for the
+        vector weighted summation (Alg. 5).
+        """
+        weights_ring = self.ring.encode(np.asarray(weights))
+        enc = device.stored(name)
+        c_res = device.weighted_element_sum(name, rows, cols, weights_ring)
+        elem_addrs = np.array(
+            [enc.element_addr(int(i), int(j)) for i, j in zip(rows, cols)],
+            dtype=np.uint64,
+        )
+        pads = self.encryptor.otp.pad_elements_at(elem_addrs, enc.version)
+        e_res = self.ring.dot(weights_ring, pads[:, None])[0]
+        return int(self.ring.add(self.ring.dtype(c_res), e_res))
+
+    # -- verification (Alg. 5) ---------------------------------------------------
+
+    def _verify_row_sum(
+        self,
+        device: UntrustedNdpDevice,
+        enc: EncryptedMatrix,
+        name: str,
+        rows: Sequence[int],
+        weights_ring: np.ndarray,
+        res: np.ndarray,
+    ) -> None:
+        if enc.tags is None or enc.checksum_version is None:
+            raise VerificationError(
+                f"matrix {name!r} was encrypted without verification tags"
+            )
+        # Checksum of the reconstructed result (verification engine).
+        key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
+        t_res = self.checksum.result_tag([int(x) for x in res], key)
+
+        # Tag pads for the queried rows (OTP side, E_{T_res}).
+        tag_pads = self.mac.tag_pads_for_rows(enc, rows)
+        weights_int = [int(w) for w in weights_ring]
+        e_t_res = self.field.dot(weights_int, tag_pads)
+
+        # NDP tag share (C_{T_res}).
+        c_t_res = device.weighted_tag_sum(name, rows, weights_int)
+
+        retrieved = self.field.add(c_t_res, e_t_res)
+        if retrieved != t_res:
+            raise VerificationError(
+                f"tag mismatch for query on {name!r}: computed {t_res:#x}, "
+                f"retrieved {retrieved:#x} (tampering, replay, or ring overflow)"
+            )
+
+    # -- convenience --------------------------------------------------------------
+
+    def decrypt_matrix(self, encrypted: EncryptedMatrix) -> np.ndarray:
+        return self.encryptor.decrypt(encrypted)

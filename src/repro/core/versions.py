@@ -1,0 +1,98 @@
+"""Software-managed version numbers (paper Sec. V-A).
+
+SecNDP lets trusted enclave software manage counter-mode version numbers
+instead of dedicating hardware counter storage: a whole memory region
+(e.g. an embedding table) shares one version, versions are bumped when a
+region is rewritten, and the enclave guarantees no (address, version)
+reuse.  The evaluation assumes the enclave manages at most 64 live
+versions (Sec. VI-A).
+
+:class:`VersionManager` models that software component, including the
+failure modes the scheme must reject: reusing a version for the same
+region, and exceeding the version budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import VersionBudgetError, VersionReuseError
+
+__all__ = ["VersionManager", "DEFAULT_VERSION_BUDGET"]
+
+#: Paper Sec. VI-A: "the enclave software manages at most 64 version numbers".
+DEFAULT_VERSION_BUDGET = 64
+
+
+@dataclass
+class VersionManager:
+    """Allocates unique version numbers per memory region.
+
+    Each named region (an embedding table, the analytics matrix, ...)
+    gets a monotonically increasing version.  The manager refuses to hand
+    out a version that was already used for the same region, and enforces
+    the configured budget of simultaneously-tracked regions.
+
+    Parameters
+    ----------
+    version_bits:
+        ``w_v`` - width of the version field in the counter block; the
+        manager raises once a region's counter would no longer fit.
+    budget:
+        Maximum number of regions tracked at once.
+    """
+
+    version_bits: int = 64
+    budget: int = DEFAULT_VERSION_BUDGET
+    _current: Dict[str, int] = field(default_factory=dict)
+    _tombstones: Dict[str, int] = field(default_factory=dict)
+
+    def fresh(self, region: str) -> int:
+        """Draw a fresh version for ``region`` (the paper's ``v <- V()``)."""
+        if region not in self._current and len(self._current) >= self.budget:
+            raise VersionBudgetError(
+                f"version budget of {self.budget} regions exhausted; "
+                f"cannot track new region {region!r}"
+            )
+        last = self._current.get(region, self._tombstones.pop(region, -1))
+        version = last + 1
+        if version >= (1 << self.version_bits):
+            raise VersionReuseError(
+                f"version counter for region {region!r} exhausted "
+                f"({self.version_bits} bits); re-key required"
+            )
+        self._current[region] = version
+        return version
+
+    def current(self, region: str) -> int:
+        """The live version for ``region`` (for pad regeneration)."""
+        try:
+            return self._current[region]
+        except KeyError:
+            raise VersionReuseError(f"region {region!r} has no version yet") from None
+
+    def assert_unused(self, region: str, version: int) -> None:
+        """Reject an explicit attempt to encrypt under an already-used version."""
+        if region in self._current and version <= self._current[region]:
+            raise VersionReuseError(
+                f"version {version} already used for region {region!r} "
+                f"(current={self._current[region]})"
+            )
+
+    def retire(self, region: str) -> None:
+        """Stop tracking a region, freeing one slot of the budget.
+
+        The retired region's versions remain burned: re-registering the
+        region continues from the next version rather than restarting at 0,
+        because pads derived from old (address, version) pairs may still
+        exist in an attacker's transcript.
+        """
+        # Keep the counter but mark the slot free by moving it to a tombstone.
+        if region not in self._current:
+            return
+        self._tombstones[region] = self._current.pop(region)
+
+    @property
+    def live_regions(self) -> int:
+        return len(self._current)

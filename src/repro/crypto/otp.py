@@ -1,0 +1,93 @@
+"""One-time-pad (OTP) generation for SecNDP arithmetic encryption.
+
+Alg. 1 derives the processor's share of the secret by encrypting counter
+blocks: plaintext is split into ``w_c``-bit chunks, the chunk's physical
+byte address (plus the version) is fed through ``E_00`` and the resulting
+128-bit pad is sliced into ``l = w_c / w_e`` ring elements.
+
+This module produces exactly those pad elements, both for whole
+matrices (bulk encryption, Alg. 1) and for scattered single elements
+(Alg. 4 lines 8-12, where the processor regenerates only the pads of the
+elements that participate in a weighted summation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .aes import BLOCK_BYTES
+from .ring import Ring
+from .tweaked import DOMAIN_DATA, TweakedCipher
+
+__all__ = ["OtpGenerator"]
+
+
+class OtpGenerator:
+    """Generates data-domain OTP elements from (address, version) pairs.
+
+    Parameters
+    ----------
+    cipher:
+        The shared :class:`~repro.crypto.tweaked.TweakedCipher`.
+    ring:
+        Element ring ``Z(2^w_e)``; determines how each 128-bit pad block is
+        sliced into elements (``l = w_c / w_e`` per block).
+    """
+
+    def __init__(self, cipher: TweakedCipher, ring: Ring):
+        self.cipher = cipher
+        self.ring = ring
+        self.elements_per_block = BLOCK_BYTES * 8 // ring.width
+
+    def pad_elements(self, base_addr: int, count: int, version: int) -> np.ndarray:
+        """OTP elements covering ``count`` consecutive elements at ``base_addr``.
+
+        ``base_addr`` is a byte address and must be aligned to the cipher
+        block size, matching Alg. 1 where chunk ``i`` lives at
+        ``Addr + i * (w_c / 8)``.
+        """
+        if base_addr % BLOCK_BYTES:
+            raise ValueError(
+                f"base address {base_addr:#x} not aligned to {BLOCK_BYTES}-byte blocks"
+            )
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        n_blocks = -(-count // self.elements_per_block)  # ceil division
+        addrs = base_addr + BLOCK_BYTES * np.arange(n_blocks, dtype=np.uint64)
+        pads = self.cipher.encrypt_counters(DOMAIN_DATA, addrs, version)
+        return self.ring.from_bytes(pads)[:count]
+
+    def pad_element_at(self, elem_byte_addr: int, version: int) -> int:
+        """The single OTP element covering the element at ``elem_byte_addr``.
+
+        Mirrors Alg. 4 lines 9-11: the block address is the element address
+        rounded down to the cipher block, and ``idx`` selects the
+        ``w_e``-bit substring inside the pad.
+        """
+        elem_bytes = self.ring.width // 8
+        if elem_byte_addr % elem_bytes:
+            raise ValueError(
+                f"element address {elem_byte_addr:#x} not aligned to "
+                f"{elem_bytes}-byte elements"
+            )
+        block_addr = (elem_byte_addr // BLOCK_BYTES) * BLOCK_BYTES
+        idx = (elem_byte_addr % BLOCK_BYTES) // elem_bytes
+        pad = self.cipher.encrypt_counter(DOMAIN_DATA, block_addr, version)
+        pad_elems = self.ring.from_bytes(np.frombuffer(pad, dtype=np.uint8))
+        return int(pad_elems[idx])
+
+    def pad_elements_at(
+        self, elem_byte_addrs: np.ndarray, version: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`pad_element_at` for scattered element addresses."""
+        addrs = np.asarray(elem_byte_addrs, dtype=np.uint64)
+        elem_bytes = self.ring.width // 8
+        if addrs.size and int(np.max(addrs % elem_bytes)):
+            raise ValueError("element addresses must be element-aligned")
+        block_addrs = (addrs // BLOCK_BYTES) * BLOCK_BYTES
+        idx = ((addrs % BLOCK_BYTES) // elem_bytes).astype(np.intp)
+        pads = self.cipher.encrypt_counters(DOMAIN_DATA, block_addrs, version)
+        pad_elems = pads.reshape(-1).view(self.ring.dtype).reshape(
+            len(addrs), self.elements_per_block
+        )
+        return pad_elems[np.arange(len(addrs)), idx]

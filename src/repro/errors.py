@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SecNDP reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SecNDPError",
+    "VerificationError",
+    "VersionReuseError",
+    "VersionBudgetError",
+    "ConfigurationError",
+]
+
+
+class SecNDPError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class VerificationError(SecNDPError):
+    """An NDP result failed tag verification.
+
+    Raised when the reconstructed checksum of a weighted-summation result
+    does not match the retrieved (decrypted) tag - caused by a corrupted or
+    forged NDP result, tampered ciphertext/tags in memory, a replayed stale
+    value, or an arithmetic overflow in the ring (paper Sec. IV-F, footnote 1).
+    In the hardware design this corresponds to the verification-failure
+    interrupt of Sec. V-E3.
+    """
+
+
+class VersionReuseError(SecNDPError):
+    """A version number would be reused for the same address.
+
+    Counter-mode security collapses if one (address, version) pair encrypts
+    two different plaintexts (Sec. III-B); the software version manager
+    refuses to do so.
+    """
+
+
+class VersionBudgetError(SecNDPError):
+    """The enclave exceeded its configured version-number budget.
+
+    The evaluation assumes enclave software manages at most 64 version
+    numbers (Sec. VI-A); exceeding the budget means re-encryption under a
+    fresh key is required.
+    """
+
+
+class ConfigurationError(SecNDPError):
+    """Invalid or inconsistent simulation/scheme configuration."""

@@ -1,0 +1,20 @@
+"""Experiment harness: scales, CPU model, runners and rendering."""
+
+from .configs import (
+    CpuModel,
+    DEFAULT_SCALE,
+    ExperimentScale,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+)
+from .reporting import render_series, render_table
+
+__all__ = [
+    "CpuModel",
+    "DEFAULT_SCALE",
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "SMOKE_SCALE",
+    "render_series",
+    "render_table",
+]

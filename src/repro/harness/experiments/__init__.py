@@ -1,0 +1,29 @@
+"""Per-table / per-figure experiment drivers (see DESIGN.md Sec. 4)."""
+
+from .figure7 import Figure7Result, run_figure7
+from .figure8 import Figure8Result, run_figure8
+from .figure9 import Figure9Result, run_figure9
+from .figure10 import Figure10Result, run_figure10
+from .figure11 import Figure11Result, run_figure11
+from .table3 import Table3Result, run_table3
+from .table4 import Table4Result, run_table4
+from .table5 import Table5Result, run_table5
+
+__all__ = [
+    "Figure7Result",
+    "run_figure7",
+    "Figure8Result",
+    "run_figure8",
+    "Figure9Result",
+    "run_figure9",
+    "Figure10Result",
+    "run_figure10",
+    "Figure11Result",
+    "run_figure11",
+    "Table3Result",
+    "run_table3",
+    "Table4Result",
+    "run_table4",
+    "Table5Result",
+    "run_table5",
+]

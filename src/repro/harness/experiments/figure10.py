@@ -1,0 +1,74 @@
+"""Figure 10 - % packets decryption-bound including verification.
+
+Same attribution as Figure 8 but with the verification schemes of
+Figure 9 at ``NDP_rank=8, NDP_reg=8``: tag pads add OTP blocks (Ver-ECC
+especially, since it adds no DRAM traffic to hide behind), so verified
+schemes need more AES engines to stop being decryption-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...errors import ConfigurationError
+from ...ndp.aes_engine import AesEngineModel
+from ...ndp.verification import TagScheme
+from ..configs import DEFAULT_SCALE, ExperimentScale
+from ..reporting import render_series
+from .common import build_sls_workload, run_ndp, scaled_config
+from .figure9 import SCHEMES_F9
+
+__all__ = ["Figure10Result", "run_figure10", "AES_SWEEP_F10"]
+
+AES_SWEEP_F10: List[int] = [2, 4, 6, 8, 10, 12, 16]
+
+
+@dataclass
+class Figure10Result:
+    """fractions[workload][scheme] -> series over the AES sweep."""
+
+    aes_sweep: List[int]
+    fractions: Dict[str, Dict[str, List[float]]]
+
+    def render(self) -> str:
+        blocks = []
+        for workload, series in self.fractions.items():
+            blocks.append(
+                render_series(
+                    "#AES engines",
+                    self.aes_sweep,
+                    series,
+                    title=(
+                        f"-- {workload}: % packets decryption-bound "
+                        "(rank=8, reg=8) --"
+                    ),
+                    fmt="{:.0%}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_figure10(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    model: str = "RMC1-small",
+    aes_sweep: List[int] = None,
+) -> Figure10Result:
+    aes_sweep = aes_sweep or AES_SWEEP_F10
+    config = scaled_config(model, scale)
+    fractions: Dict[str, Dict[str, List[float]]] = {}
+    for label, element_bytes in (("SLS 32-bit", 4), ("SLS 8-bit quantized", 1)):
+        workload = build_sls_workload(
+            config, scale, element_bytes=element_bytes, trace_kind="production"
+        )
+        per_scheme: Dict[str, List[float]] = {}
+        for scheme in SCHEMES_F9:
+            try:
+                run = run_ndp(workload, tag_scheme=scheme)
+            except ConfigurationError:
+                continue  # Ver-ECC infeasible for quantized rows
+            per_scheme[scheme.value] = [
+                run.decryption_bound_fraction(AesEngineModel(n)) for n in aes_sweep
+            ]
+        fractions[label] = per_scheme
+    return Figure10Result(aes_sweep=aes_sweep, fractions=fractions)

@@ -1,0 +1,132 @@
+"""Figure 11 - end-to-end breakdown and batch-size scaling.
+
+Top panel: normalised execution time of each DLRM model under SecNDP,
+broken into the NDP portion (simulated SLS) and the CPU-TEE portion
+(MLPs); the baseline's breakdown is shown for reference.
+
+Bottom panel: end-to-end SecNDP speedup vs the unprotected non-NDP
+baseline across batch sizes, plus the (flat) SGX-ICL reference.
+
+Expected shape: the NDP portion dominates at large batch; speedup grows
+with batch size and approaches the SLS-only speedup; SGX does not scale
+with batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from ...baselines.sgx import SGX_ICL, sgx_slowdown
+from ...ndp.aes_engine import AesEngineModel
+from ...ndp.verification import TagScheme
+from ..configs import CpuModel, DEFAULT_SCALE, ExperimentScale
+from ..reporting import render_series, render_table
+from .common import build_sls_workload, run_baseline, run_ndp, scaled_config
+
+__all__ = ["Figure11Result", "run_figure11", "BATCH_SWEEP"]
+
+BATCH_SWEEP: List[int] = [4, 16, 64, 256]
+
+
+@dataclass
+class Figure11Result:
+    """Breakdown per model (at the scale's batch) + speedup-vs-batch series."""
+
+    #: breakdown[model] -> dict with cpu_ns / ndp_ns for baseline and SecNDP
+    breakdown: Dict[str, Dict[str, float]]
+    batch_sweep: List[int]
+    #: speedup_vs_batch[model] -> list of end-to-end speedups over the sweep
+    speedup_vs_batch: Dict[str, List[float]]
+    #: sgx_icl_vs_batch[model] -> flat SGX reference over the same sweep
+    sgx_icl_vs_batch: Dict[str, List[float]]
+
+    def render(self) -> str:
+        rows = []
+        for model, b in self.breakdown.items():
+            total_base = b["base_cpu_ns"] + b["base_mem_ns"]
+            total_sec = b["sec_cpu_ns"] + b["sec_ndp_ns"]
+            rows.append(
+                [
+                    model,
+                    f"{b['base_cpu_ns'] / total_base:.0%}",
+                    f"{b['base_mem_ns'] / total_base:.0%}",
+                    f"{b['sec_cpu_ns'] / total_sec:.0%}",
+                    f"{b['sec_ndp_ns'] / total_sec:.0%}",
+                    f"{total_base / total_sec:.2f}x",
+                ]
+            )
+        top = render_table(
+            ["model", "base CPU", "base mem", "SecNDP CPU", "SecNDP NDP", "speedup"],
+            rows,
+            title="Figure 11 (top) - execution-time breakdown",
+        )
+        bottom = render_series(
+            "batch",
+            self.batch_sweep,
+            {
+                **{f"SecNDP {m}": v for m, v in self.speedup_vs_batch.items()},
+                **{f"SGX-ICL {m}": v for m, v in self.sgx_icl_vs_batch.items()},
+            },
+            title="Figure 11 (bottom) - end-to-end speedup vs batch size",
+        )
+        return top + "\n\n" + bottom
+
+
+def run_figure11(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    models: List[str] = None,
+    cpu: CpuModel = CpuModel(),
+    n_aes_engines: int = 12,
+) -> Figure11Result:
+    models = models or ["RMC1-small", "RMC2-small"]
+    aes = AesEngineModel(n_aes_engines)
+
+    breakdown: Dict[str, Dict[str, float]] = {}
+    speedup_vs_batch: Dict[str, List[float]] = {}
+    sgx_vs_batch: Dict[str, List[float]] = {}
+
+    for model in models:
+        config = scaled_config(model, scale)
+
+        # -- breakdown at the scale's default batch --------------------------
+        wl = build_sls_workload(config, scale)
+        base_mem = run_baseline(wl).total_ns
+        sec = run_ndp(wl, tag_scheme=TagScheme.VER_ECC)
+        breakdown[model] = {
+            "base_cpu_ns": cpu.mlp_ns(config, scale.batch, in_tee=False),
+            "base_mem_ns": base_mem,
+            "sec_cpu_ns": cpu.mlp_ns(config, scale.batch, in_tee=True)
+            + cpu.offload_overhead_ns,
+            "sec_ndp_ns": sec.secndp_ns(aes),
+        }
+
+        # -- batch sweep -------------------------------------------------------
+        speedups = []
+        sgx_speedups = []
+        for batch in BATCH_SWEEP:
+            batch_scale = replace(scale, batch=batch)
+            wl_b = build_sls_workload(config, batch_scale)
+            base_mem_b = run_baseline(wl_b).total_ns
+            sec_b = run_ndp(wl_b, tag_scheme=TagScheme.VER_ECC)
+            cpu_plain = cpu.mlp_ns(config, batch, in_tee=False)
+            cpu_tee = cpu.mlp_ns(config, batch, in_tee=True)
+            e2e_base = cpu_plain + base_mem_b
+            e2e_sec = cpu_tee + cpu.offload_overhead_ns + sec_b.secndp_ns(aes)
+            speedups.append(e2e_base / e2e_sec)
+            icl_ns = cpu_plain * SGX_ICL.cache_resident_factor + sgx_slowdown(
+                SGX_ICL,
+                config.total_embedding_bytes,
+                batch * config.n_tables * scale.pooling_factor * 128,
+                base_mem_b,
+            )
+            sgx_speedups.append(e2e_base / icl_ns)
+        speedup_vs_batch[model] = speedups
+        sgx_vs_batch[model] = sgx_speedups
+
+    return Figure11Result(
+        breakdown=breakdown,
+        batch_sweep=BATCH_SWEEP,
+        speedup_vs_batch=speedup_vs_batch,
+        sgx_icl_vs_batch=sgx_vs_batch,
+    )

@@ -1,0 +1,120 @@
+"""Figure 7 - speedup of non-NDP / NDP / SecNDP-Enc vs #AES engines.
+
+For each workload family (SLS 32-bit, SLS 8-bit quantized, data
+analytics) and each NDP setting ``(NDP_rank, NDP_reg)``, reports the
+speedup of:
+
+* the unprotected non-NDP baseline (1x reference per family,
+  32-bit layout),
+* unprotected NDP (red bars),
+* SecNDP-Enc at increasing AES-engine counts (green bars),
+* for the quantized family, additionally the row-wise-quantization
+  variant of baseline and unprotected NDP (``row_quan`` bars; SecNDP
+  cannot use row-wise quantization efficiently - Sec. VI-A).
+
+Expected shape: SecNDP-Enc climbs with engines and saturates at the
+unprotected-NDP bar; quantization needs ~1/3 of the engines; analytics
+has the highest speedup and does not benefit from more registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...ndp.aes_engine import AesEngineModel
+from ..configs import DEFAULT_SCALE, ExperimentScale
+from ..reporting import render_table
+from .common import (
+    build_analytics_workload,
+    build_sls_workload,
+    run_baseline,
+    run_ndp,
+    scaled_config,
+)
+
+__all__ = ["Figure7Result", "run_figure7", "NDP_SETTINGS", "AES_SWEEP"]
+
+NDP_SETTINGS: List[Tuple[int, int]] = [(1, 1), (2, 2), (4, 4), (8, 8)]
+AES_SWEEP: List[int] = [1, 2, 4, 8, 12]
+
+
+@dataclass
+class Figure7Result:
+    """speedups[workload][(rank, reg)][scenario] -> speedup vs 32-bit non-NDP."""
+
+    speedups: Dict[str, Dict[Tuple[int, int], Dict[str, float]]]
+
+    def render(self) -> str:
+        blocks = []
+        for workload, settings in self.speedups.items():
+            scenarios = list(next(iter(settings.values())).keys())
+            rows = []
+            for setting, values in settings.items():
+                rows.append(
+                    [f"rank={setting[0]} reg={setting[1]}"]
+                    + [values[s] for s in scenarios]
+                )
+            blocks.append(
+                render_table([workload] + scenarios, rows, title=f"-- {workload} --")
+            )
+        return "\n\n".join(blocks)
+
+
+def run_figure7(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    model: str = "RMC1-small",
+    settings: List[Tuple[int, int]] = None,
+    aes_sweep: List[int] = None,
+) -> Figure7Result:
+    settings = settings or NDP_SETTINGS
+    aes_sweep = aes_sweep or AES_SWEEP
+    config = scaled_config(model, scale)
+
+    speedups: Dict[str, Dict[Tuple[int, int], Dict[str, float]]] = {}
+
+    # -- SLS, 32-bit ------------------------------------------------------------
+    wl32 = build_sls_workload(config, scale, element_bytes=4)
+    base32 = run_baseline(wl32).total_ns
+    fam: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for rank, reg in settings:
+        run = run_ndp(wl32, rank, reg)
+        entry = {"non-NDP": 1.0, "NDP": base32 / run.ndp_only_ns}
+        for n in aes_sweep:
+            entry[f"SecNDP-Enc({n} AES)"] = base32 / run.secndp_ns(AesEngineModel(n))
+        fam[(rank, reg)] = entry
+    speedups["SLS 32-bit"] = fam
+
+    # -- SLS, 8-bit quantized ------------------------------------------------------
+    wl8 = build_sls_workload(config, scale, element_bytes=1)
+    wl8_row = build_sls_workload(config, scale, element_bytes=1, rowwise_quant=True)
+    base8 = run_baseline(wl8).total_ns
+    base8_row = run_baseline(wl8_row).total_ns
+    fam = {}
+    for rank, reg in settings:
+        run = run_ndp(wl8, rank, reg)
+        run_row = run_ndp(wl8_row, rank, reg)
+        entry = {
+            "non-NDP": base32 / base8,
+            "non-NDP(row_quan)": base32 / base8_row,
+            "NDP": base32 / run.ndp_only_ns,
+            "NDP(row_quan)": base32 / run_row.ndp_only_ns,
+        }
+        for n in aes_sweep:
+            entry[f"SecNDP-Enc({n} AES)"] = base32 / run.secndp_ns(AesEngineModel(n))
+        fam[(rank, reg)] = entry
+    speedups["SLS 8-bit quantized"] = fam
+
+    # -- data analytics ---------------------------------------------------------------
+    wla = build_analytics_workload(scale)
+    basea = run_baseline(wla).total_ns
+    fam = {}
+    for rank, reg in settings:
+        run = run_ndp(wla, rank, reg)
+        entry = {"non-NDP": 1.0, "NDP": basea / run.ndp_only_ns}
+        for n in aes_sweep:
+            entry[f"SecNDP-Enc({n} AES)"] = basea / run.secndp_ns(AesEngineModel(n))
+        fam[(rank, reg)] = entry
+    speedups["Data analytics"] = fam
+
+    return Figure7Result(speedups=speedups)

@@ -1,0 +1,73 @@
+"""Figure 8 - % of NDP packets bottlenecked by decryption bandwidth.
+
+For SLS operations with and without quantization, sweeps the number of
+AES engines and reports, per ``NDP_rank``, the fraction of NDP packets
+whose OTP-generation time exceeds their DRAM time (confidentiality-only
+SecNDP).
+
+Expected shape: the fraction falls as engines are added, rises with
+``NDP_rank`` (more ranks -> more parallel memory throughput to match),
+and the quantized workload needs roughly a third of the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...ndp.aes_engine import AesEngineModel
+from ..configs import DEFAULT_SCALE, ExperimentScale
+from ..reporting import render_series
+from .common import build_sls_workload, run_ndp, scaled_config
+
+__all__ = ["Figure8Result", "run_figure8", "RANK_SWEEP", "AES_SWEEP_F8"]
+
+RANK_SWEEP: List[int] = [1, 2, 4, 8]
+AES_SWEEP_F8: List[int] = [1, 2, 4, 6, 8, 10, 12]
+
+
+@dataclass
+class Figure8Result:
+    """fractions[workload][f"rank={r}"] -> list over the AES sweep."""
+
+    aes_sweep: List[int]
+    fractions: Dict[str, Dict[str, List[float]]]
+
+    def render(self) -> str:
+        blocks = []
+        for workload, series in self.fractions.items():
+            blocks.append(
+                render_series(
+                    "#AES engines",
+                    self.aes_sweep,
+                    series,
+                    title=f"-- {workload}: % packets decryption-bound --",
+                    fmt="{:.0%}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_figure8(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    model: str = "RMC1-small",
+    ranks: List[int] = None,
+    aes_sweep: List[int] = None,
+) -> Figure8Result:
+    ranks = ranks or RANK_SWEEP
+    aes_sweep = aes_sweep or AES_SWEEP_F8
+    config = scaled_config(model, scale)
+
+    fractions: Dict[str, Dict[str, List[float]]] = {}
+    for label, element_bytes in (("SLS 32-bit", 4), ("SLS 8-bit quantized", 1)):
+        workload = build_sls_workload(
+            config, scale, element_bytes=element_bytes, trace_kind="production"
+        )
+        per_rank: Dict[str, List[float]] = {}
+        for rank in ranks:
+            run = run_ndp(workload, ndp_ranks=rank, ndp_regs=rank)
+            per_rank[f"rank={rank}"] = [
+                run.decryption_bound_fraction(AesEngineModel(n)) for n in aes_sweep
+            ]
+        fractions[label] = per_rank
+    return Figure8Result(aes_sweep=aes_sweep, fractions=fractions)

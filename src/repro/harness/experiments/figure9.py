@@ -1,0 +1,96 @@
+"""Figure 9 - speedup of SecNDP encryption + verification schemes.
+
+At ``NDP_rank=8, NDP_reg=8`` with twelve AES engines, compares
+unprotected NDP against SecNDP with Enc-only, Ver-coloc, Ver-sep and
+Ver-ECC tag placement, for SLS 32-bit, SLS 8-bit quantized, and the
+analytics workload (128-bit tags).
+
+Expected shape: Ver-ECC matches Enc-only; Ver-coloc sits slightly below;
+Ver-sep loses ~40% (separate tag lines); with quantization Ver-ECC is
+infeasible (tags don't fit the ECC capacity of sub-line rows) and
+Ver-coloc approaches Enc-only; analytics sees small verification
+overhead because its rows are long.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...errors import ConfigurationError
+from ...ndp.aes_engine import AesEngineModel
+from ...ndp.verification import TagScheme
+from ..configs import DEFAULT_SCALE, ExperimentScale
+from ..reporting import render_table
+from .common import (
+    build_analytics_workload,
+    build_sls_workload,
+    run_baseline,
+    run_ndp,
+    scaled_config,
+)
+
+__all__ = ["Figure9Result", "run_figure9", "SCHEMES_F9"]
+
+SCHEMES_F9 = [
+    TagScheme.ENC_ONLY,
+    TagScheme.VER_COLOC,
+    TagScheme.VER_SEP,
+    TagScheme.VER_ECC,
+]
+
+
+@dataclass
+class Figure9Result:
+    """speedups[workload][scheme-name] -> speedup vs that family's non-NDP
+    (None where the scheme is infeasible, e.g. Ver-ECC on quantized rows)."""
+
+    speedups: Dict[str, Dict[str, Optional[float]]]
+
+    def render(self) -> str:
+        scenario_names = ["NDP (unprotected)"] + [s.value for s in SCHEMES_F9]
+        rows = []
+        for workload, values in self.speedups.items():
+            row: List[object] = [workload]
+            for name in scenario_names:
+                v = values.get(name)
+                row.append("N/A" if v is None else f"{v:.2f}x")
+            rows.append(row)
+        return render_table(
+            ["workload"] + scenario_names,
+            rows,
+            title="Figure 9 - verification-scheme speedups (rank=8, reg=8, 12 AES)",
+        )
+
+
+def run_figure9(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    model: str = "RMC1-small",
+    n_aes_engines: int = 12,
+) -> Figure9Result:
+    aes = AesEngineModel(n_aes_engines)
+    config = scaled_config(model, scale)
+    speedups: Dict[str, Dict[str, Optional[float]]] = {}
+
+    workloads = {
+        "SLS 32-bit": build_sls_workload(config, scale, element_bytes=4),
+        "SLS 8-bit quantized": build_sls_workload(config, scale, element_bytes=1),
+        "Data analytics": build_analytics_workload(scale),
+    }
+    # Both SLS families are normalised to the *unquantized* non-NDP
+    # baseline, matching Fig. 7's convention (quantized bars sit higher).
+    base32 = run_baseline(workloads["SLS 32-bit"]).total_ns
+    for label, workload in workloads.items():
+        base = base32 if label.startswith("SLS") else run_baseline(workload).total_ns
+        entry: Dict[str, Optional[float]] = {}
+        plain = run_ndp(workload)
+        entry["NDP (unprotected)"] = base / plain.ndp_only_ns
+        for scheme in SCHEMES_F9:
+            try:
+                run = run_ndp(workload, tag_scheme=scheme)
+            except ConfigurationError:
+                entry[scheme.value] = None  # Ver-ECC on sub-line rows
+                continue
+            entry[scheme.value] = base / run.secndp_ns(aes)
+        speedups[label] = entry
+    return Figure9Result(speedups=speedups)

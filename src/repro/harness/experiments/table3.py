@@ -1,0 +1,152 @@
+"""Table III - end-to-end speedup of SecNDP vs baselines and SGX.
+
+Reproduces::
+
+                         RMC1-small RMC1-large RMC2-small RMC2-large Analytics
+    unprotected non-NDP     1x         1x         1x         1x        1x
+    unprotected NDP         2.46x      3.11x      4.05x      4.44x     7.46x
+    SGX-CFL                 0.0038x    0.0037x    N/A        N/A       0.1738x
+    SGX-ICL (no int. tree)  0.59x      0.60x      N/A        N/A       0.57x
+    SecNDP                  2.36x      3.02x      3.95x      4.33x     7.46x
+
+End-to-end DLRM time = CPU-TEE portion (MLPs, analytic model) + SLS
+portion (simulated); analytics is purely the summation.  SGX rows use the
+mechanism models of :mod:`repro.baselines.sgx` with the *paper-scale*
+working sets (the paging cliff needs GB-sized tables); N/A is reported
+for RMC2 models exactly as in the paper (SGX malloc limits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...baselines.sgx import SGX_CFL, SGX_ICL, sgx_slowdown
+from ...ndp.aes_engine import AesEngineModel
+from ...ndp.verification import TagScheme
+from ...workloads.dlrm import RMC_CONFIGS
+from ..configs import CpuModel, DEFAULT_SCALE, ExperimentScale
+from ..reporting import render_table
+from .common import (
+    build_analytics_workload,
+    build_sls_workload,
+    run_baseline,
+    run_ndp,
+    scaled_config,
+)
+
+__all__ = ["Table3Result", "run_table3"]
+
+#: Paper: "we could only run RMC1 in SGX" (malloc limit ~2 GB).
+SGX_MALLOC_LIMIT_BYTES = 2 << 30
+
+MODELS = ["RMC1-small", "RMC1-large", "RMC2-small", "RMC2-large"]
+SCENARIOS = [
+    "unprotected non-NDP",
+    "unprotected NDP",
+    "SGX-CFL",
+    "SGX-ICL (no int. tree)",
+    "SecNDP",
+]
+
+
+@dataclass
+class Table3Result:
+    """Speedups (vs unprotected non-NDP) per scenario per workload."""
+
+    speedups: Dict[str, Dict[str, Optional[float]]]
+    columns: List[str]
+
+    def render(self) -> str:
+        rows = []
+        for scenario in SCENARIOS:
+            row: List[object] = [scenario]
+            for col in self.columns:
+                value = self.speedups[scenario].get(col)
+                if value is None:
+                    row.append("N/A")
+                elif value < 0.01:
+                    row.append(f"{value:.4f}x")
+                else:
+                    row.append(f"{value:.2f}x")
+            rows.append(row)
+        return render_table(
+            [""] + self.columns, rows, title="Table III - SecNDP speedup"
+        )
+
+
+def run_table3(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    cpu: CpuModel = CpuModel(),
+    n_aes_engines: int = 12,
+) -> Table3Result:
+    aes = AesEngineModel(n_engines=n_aes_engines)
+    columns = MODELS + ["Data Analytics"]
+    speedups: Dict[str, Dict[str, Optional[float]]] = {s: {} for s in SCENARIOS}
+
+    for name in MODELS:
+        config = scaled_config(name, scale)
+        full_config = RMC_CONFIGS[name]
+        workload = build_sls_workload(config, scale)
+
+        base = run_baseline(workload)
+        ndp = run_ndp(workload, tag_scheme=TagScheme.ENC_ONLY)
+        ver = run_ndp(workload, tag_scheme=TagScheme.VER_ECC)
+
+        cpu_plain_ns = cpu.mlp_ns(config, scale.batch, in_tee=False)
+        cpu_tee_ns = cpu.mlp_ns(config, scale.batch, in_tee=True)
+
+        e2e_base = cpu_plain_ns + base.total_ns
+        e2e_ndp = cpu_plain_ns + ndp.ndp_only_ns
+        e2e_secndp = cpu_tee_ns + cpu.offload_overhead_ns + ver.secndp_ns(aes)
+
+        speedups["unprotected non-NDP"][name] = 1.0
+        speedups["unprotected NDP"][name] = e2e_base / e2e_ndp
+        speedups["SecNDP"][name] = e2e_base / e2e_secndp
+
+        ws = full_config.total_embedding_bytes
+        touched = (
+            scale.batch
+            * config.n_tables
+            * scale.pooling_factor
+            * config.embedding_dim
+            * 4
+        )
+        if ws > SGX_MALLOC_LIMIT_BYTES:
+            speedups["SGX-CFL"][name] = None
+            speedups["SGX-ICL (no int. tree)"][name] = None
+        else:
+            cfl_ns = (
+                cpu_plain_ns * SGX_CFL.cache_resident_factor
+                + sgx_slowdown(SGX_CFL, ws, touched, base.total_ns)
+            )
+            icl_ns = (
+                cpu_plain_ns * SGX_ICL.cache_resident_factor
+                + sgx_slowdown(SGX_ICL, ws, touched, base.total_ns)
+            )
+            speedups["SGX-CFL"][name] = e2e_base / cfl_ns
+            speedups["SGX-ICL (no int. tree)"][name] = e2e_base / icl_ns
+
+    # -- analytics column ---------------------------------------------------------
+    wl = build_analytics_workload(scale)
+    base = run_baseline(wl)
+    ndp = run_ndp(wl, tag_scheme=TagScheme.ENC_ONLY)
+    ver = run_ndp(wl, tag_scheme=TagScheme.VER_ECC)
+    col = "Data Analytics"
+    speedups["unprotected non-NDP"][col] = 1.0
+    speedups["unprotected NDP"][col] = base.total_ns / ndp.ndp_only_ns
+    speedups["SecNDP"][col] = base.total_ns / ver.secndp_ns(aes)
+
+    # Paper scale: 500k patients x 10k genes... the DB is 40 MB per the
+    # evaluation parameters (m=1024 genes) - inside CFL's EPC, so no
+    # paging; both SGX rows are MEE-bandwidth-bound.
+    ws = scale.analytics_patients * scale.analytics_genes * 4
+    touched = wl.queries[0].pooling_factor * scale.analytics_genes * 4 * len(
+        wl.queries
+    )
+    cfl_ns = sgx_slowdown(SGX_CFL, min(ws, SGX_CFL.epc_bytes), touched, base.total_ns)
+    icl_ns = sgx_slowdown(SGX_ICL, ws, touched, base.total_ns)
+    speedups["SGX-CFL"][col] = base.total_ns / cfl_ns
+    speedups["SGX-ICL (no int. tree)"][col] = base.total_ns / icl_ns
+
+    return Table3Result(speedups=speedups, columns=columns)

@@ -1,0 +1,33 @@
+"""Table IV - model accuracy under the quantization schemes.
+
+Thin wrapper over :func:`repro.analysis.accuracy.quantization_accuracy`
+that renders the paper's table layout (LogLoss + degradation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...analysis.accuracy import AccuracyReport, quantization_accuracy
+from ..reporting import render_table
+
+__all__ = ["Table4Result", "run_table4"]
+
+
+@dataclass
+class Table4Result:
+    report: AccuracyReport
+
+    def render(self) -> str:
+        rows = []
+        for name, logloss, degradation in self.report.rows():
+            rows.append([name, f"{logloss:.5f}", f"{degradation:+.2e}"])
+        return render_table(
+            ["scheme", "LogLoss", "LogLoss degradation"],
+            rows,
+            title="Table IV - accuracy of quantization schemes",
+        )
+
+
+def run_table4(**kwargs) -> Table4Result:
+    return Table4Result(report=quantization_accuracy(**kwargs))

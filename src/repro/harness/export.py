@@ -1,0 +1,62 @@
+"""JSON export of experiment results (for plotting / CI artifacts).
+
+Every ``run_*`` result object in :mod:`repro.harness.experiments` is a
+plain dataclass of dicts/lists/floats; :func:`to_jsonable` converts one
+(including tuple keys and None entries) into a JSON-serialisable tree and
+:func:`export_results` writes a results bundle with provenance metadata.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict
+
+from .. import __version__
+
+__all__ = ["to_jsonable", "export_results"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert experiment results into JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            # DRAM handles etc. are not data; skip non-serialisable leaves.
+            if not f.name.startswith("_") and f.name not in ("dram",)
+        }
+    if isinstance(obj, dict):
+        return {_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "value"):  # enums
+        return obj.value
+    if hasattr(obj, "item"):  # numpy scalars
+        return obj.item()
+    return repr(obj)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(k) for k in key)
+    return str(key)
+
+
+def export_results(results: Dict[str, Any], path: str | Path) -> Path:
+    """Write a named bundle of experiment results to ``path`` as JSON."""
+    payload = {
+        "meta": {
+            "package": "repro (SecNDP, HPCA 2022 reproduction)",
+            "version": __version__,
+            "python": platform.python_version(),
+        },
+        "results": {name: to_jsonable(res) for name, res in results.items()},
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        cells = []
+        for i, cell in enumerate(row):
+            if i == 0:
+                cells.append(cell.ljust(widths[i]))
+            else:
+                cells.append(cell.rjust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render figure data as one row per series over shared x values."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows: List[List[object]] = []
+    for name, values in series.items():
+        rows.append([name] + [fmt.format(v) for v in values])
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,42 @@
+"""Cycle-level DRAM substrate (the Ramulator replacement).
+
+Event-driven DDR4 timing model honouring the paper's Table II
+constraints, plus address decoding, OS page mapping and DRAMPower-style
+energy counting.
+"""
+
+from .address import AddressMapper, DecodedAddress, RankAddressMapper
+from .bank import Bank
+from .channel import ChannelBus
+from .controller import AccessResult, MemoryController
+from .dram import DramSystem
+from .energy import DDR4_ENERGY, EnergyCounters, EnergyParams
+from .pagemap import PAGE_BYTES, PageMapper
+from .rank import Rank
+from .timing import DDR4_2400, DDR4_GEOMETRY, DDR4Timing, DramGeometry
+from .trace import DramCommand, TraceEntry, TraceViolation, validate_trace
+
+__all__ = [
+    "AddressMapper",
+    "DecodedAddress",
+    "RankAddressMapper",
+    "Bank",
+    "ChannelBus",
+    "AccessResult",
+    "MemoryController",
+    "DramSystem",
+    "DDR4_ENERGY",
+    "EnergyCounters",
+    "EnergyParams",
+    "PAGE_BYTES",
+    "PageMapper",
+    "Rank",
+    "DDR4_2400",
+    "DDR4_GEOMETRY",
+    "DDR4Timing",
+    "DramGeometry",
+    "DramCommand",
+    "TraceEntry",
+    "TraceViolation",
+    "validate_trace",
+]

@@ -1,0 +1,95 @@
+"""Physical-address decoding (the paper's "physical addresses mapping module").
+
+Splits a flat physical byte address into (channel, rank, bank group, bank,
+row, column) coordinates.  The default interleaving is row : bank : bank
+group : rank : column : channel : line-offset from MSB to LSB - i.e.
+consecutive cache lines walk columns within a rank first, which is the
+layout that gives rank-level NDP units contiguous vector rows (Sec. V,
+RecNMP-style rank partitioning [36]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .timing import DramGeometry
+
+__all__ = ["DecodedAddress", "AddressMapper"]
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+    def flat_bank(self, banks_per_group: int) -> int:
+        """Flat bank index within the rank."""
+        return self.bank_group * banks_per_group + self.bank
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Bit-slicing decoder for a :class:`DramGeometry`."""
+
+    geometry: DramGeometry = DramGeometry()
+
+    def decode(self, addr: int) -> DecodedAddress:
+        """Decode a physical byte address into DRAM coordinates."""
+        g = self.geometry
+        if addr < 0:
+            raise ConfigurationError("address must be non-negative")
+        line = addr // g.line_bytes
+        channel = line % g.channels
+        line //= g.channels
+        column = line % g.columns_per_row
+        line //= g.columns_per_row
+        rank = line % g.ranks
+        line //= g.ranks
+        bank_group = line % g.bank_groups
+        line //= g.bank_groups
+        bank = line % g.banks_per_group
+        line //= g.banks_per_group
+        row = line % g.rows_per_bank
+        return DecodedAddress(channel, rank, bank_group, bank, row, column)
+
+    def rank_of(self, addr: int) -> int:
+        return self.decode(addr).rank
+
+    def rank_local_decode(self, addr: int) -> DecodedAddress:
+        """Decode an address known to be rank-local (see :class:`RankAddressMapper`)."""
+        return self.decode(addr)
+
+
+@dataclass(frozen=True)
+class RankAddressMapper:
+    """Decoder for NDP-partitioned layouts: the rank is chosen explicitly.
+
+    Rank-level NDP systems partition data so one PU owns a table shard; the
+    shard's addresses then interleave only across the rank's own banks.
+    Address bits (LSB to MSB): line offset, column, bank group, bank, row.
+    Interleaving bank group below bank maximises tCCD_S/tRRD_S-friendly
+    group alternation for streaming reads.
+    """
+
+    geometry: DramGeometry = DramGeometry()
+
+    def decode(self, rank: int, rank_addr: int) -> DecodedAddress:
+        g = self.geometry
+        if not 0 <= rank < g.ranks:
+            raise ConfigurationError(f"rank {rank} out of range [0, {g.ranks})")
+        if rank_addr < 0:
+            raise ConfigurationError("address must be non-negative")
+        line = rank_addr // g.line_bytes
+        column = line % g.columns_per_row
+        line //= g.columns_per_row
+        bank_group = line % g.bank_groups
+        line //= g.bank_groups
+        bank = line % g.banks_per_group
+        line //= g.banks_per_group
+        row = line % g.rows_per_bank
+        return DecodedAddress(0, rank, bank_group, bank, row, column)

@@ -1,0 +1,44 @@
+"""Shared channel data-bus occupancy.
+
+All ranks on a channel share one external DQ bus to the memory
+controller.  Every CPU-bound burst occupies the bus for tBL cycles; a
+rank-to-rank turnaround bubble is added when consecutive bursts come from
+different ranks.  NDP accesses bypass this bus entirely (the data is
+consumed inside the DIMM), which is precisely the bandwidth NDP reclaims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import DDR4Timing
+
+__all__ = ["ChannelBus"]
+
+#: Cycles lost when the bus switches between ranks (DQ turnaround).
+RANK_TO_RANK_PENALTY = 2
+
+
+@dataclass
+class ChannelBus:
+    """Occupancy tracker for one channel's external data bus."""
+
+    timing: DDR4Timing
+    free_at: int = 0
+    last_rank: int = -1
+    busy_cycles: int = 0
+
+    def earliest_data(self, at: int, rank: int) -> int:
+        """Earliest cycle a burst from ``rank`` may start on the bus."""
+        t = max(at, self.free_at)
+        if self.last_rank >= 0 and self.last_rank != rank:
+            t = max(t, self.free_at + RANK_TO_RANK_PENALTY)
+        return t
+
+    def occupy(self, start: int, rank: int) -> int:
+        """Claim the bus for one burst starting at ``start``; returns the end."""
+        end = start + self.timing.tBL
+        self.free_at = end
+        self.last_rank = rank
+        self.busy_cycles += self.timing.tBL
+        return end

@@ -1,0 +1,117 @@
+"""DDR4 timing and geometry parameters (paper Table II).
+
+The evaluation simulates DDR4-2400 with::
+
+    tRC=55 tRCD=16 tCL=16 tRP=16 tBL=4
+    tCCD_S=4 tCCD_L=6 tRRD_S=4 tRRD_L=6 tFAW=26
+    rank_size = 8 GB
+
+All values are in memory-controller clock cycles; DDR4-2400 transfers
+2400 MT/s on a 1200 MHz clock, so one cycle is 1/1.2 ns and a tBL=4-cycle
+burst moves 64 bytes on a 64-bit channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["DDR4Timing", "DramGeometry", "DDR4_2400", "DDR4_GEOMETRY"]
+
+
+@dataclass(frozen=True)
+class DDR4Timing:
+    """DRAM timing constraints in controller clock cycles."""
+
+    clock_mhz: float = 1200.0
+    tRC: int = 55    #: ACT -> ACT, same bank (row cycle)
+    tRCD: int = 16   #: ACT -> RD/WR, same bank
+    tCL: int = 16    #: RD -> first data
+    tRP: int = 16    #: PRE -> ACT, same bank
+    tBL: int = 4     #: burst length on the data bus (cycles)
+    tCCD_S: int = 4  #: RD -> RD, different bank group
+    tCCD_L: int = 6  #: RD -> RD, same bank group
+    tRRD_S: int = 4  #: ACT -> ACT, different bank group
+    tRRD_L: int = 6  #: ACT -> ACT, same bank group
+    tFAW: int = 26   #: four-ACT window per rank
+    tRAS: int = 39   #: ACT -> PRE, same bank (tRC - tRP)
+    tWR: int = 18    #: end of write burst -> PRE
+    tREFI: int = 9360  #: average refresh interval (7.8 us at 1200 MHz)
+    tRFC: int = 420    #: refresh cycle time (350 ns for an 8 Gb device)
+
+    def __post_init__(self) -> None:
+        if self.tRC < self.tRAS:
+            raise ConfigurationError("tRC must cover tRAS")
+        if min(self.tRCD, self.tCL, self.tRP, self.tBL) <= 0:
+            raise ConfigurationError("timing parameters must be positive")
+
+    @property
+    def ns_per_cycle(self) -> float:
+        return 1000.0 / self.clock_mhz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.ns_per_cycle
+
+    @property
+    def row_miss_latency(self) -> int:
+        """PRE + ACT + RD + data for a closed-row access."""
+        return self.tRP + self.tRCD + self.tCL + self.tBL
+
+    @property
+    def row_hit_latency(self) -> int:
+        """RD + data for an open-row access."""
+        return self.tCL + self.tBL
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Channel/rank/bank organisation.
+
+    Defaults model one DDR4 channel of 8 GB ranks: 4 bank groups x 4 banks,
+    64 K rows per bank, 8 KB row buffer (128 columns of 64-byte lines).
+    """
+
+    channels: int = 1
+    ranks: int = 8
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    rows_per_bank: int = 65536
+    columns_per_row: int = 128   #: cache-line-sized columns per row
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "ranks",
+            "bank_groups",
+            "banks_per_group",
+            "rows_per_bank",
+            "columns_per_row",
+            "line_bytes",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+    @property
+    def banks_per_rank(self) -> int:
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def row_bytes(self) -> int:
+        return self.columns_per_row * self.line_bytes
+
+    @property
+    def rank_bytes(self) -> int:
+        return self.banks_per_rank * self.rows_per_bank * self.row_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.channels * self.ranks * self.rank_bytes
+
+
+#: Table II configuration.
+DDR4_2400 = DDR4Timing()
+
+#: Default geometry: 8 ranks per channel so NDP_rank can sweep 1..8.
+DDR4_GEOMETRY = DramGeometry()

@@ -1,0 +1,151 @@
+"""DRAM command tracing and timing-constraint validation.
+
+The controller can optionally record every command it schedules
+(ACT/PRE/RD/WR with full coordinates and cycle).  The validator then
+re-checks the *entire* JEDEC constraint set against the recorded trace -
+independently of the scheduler's own bookkeeping - which is how the test
+suite proves the event-driven model never violates a timing parameter on
+arbitrary request streams (the same methodology Ramulator's validation
+used against vendor Verilog models).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .timing import DDR4Timing
+
+__all__ = ["DramCommand", "TraceEntry", "validate_trace", "TraceViolation"]
+
+
+class DramCommand(enum.Enum):
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    cycle: int
+    command: DramCommand
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    constraint: str
+    first: TraceEntry
+    second: TraceEntry
+    required: int
+    actual: int
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic aid
+        return (
+            f"{self.constraint}: {self.second.command.value}@{self.second.cycle} "
+            f"only {self.actual} cycles after {self.first.command.value}"
+            f"@{self.first.cycle} (need {self.required})"
+        )
+
+
+def validate_trace(
+    trace: List[TraceEntry], timing: DDR4Timing
+) -> List[TraceViolation]:
+    """Re-check every pairwise JEDEC constraint on a recorded trace.
+
+    Checks per bank: tRC (ACT->ACT), tRCD (ACT->RD/WR), tRAS (ACT->PRE),
+    tRP (PRE->ACT); per rank: tRRD_S/L (ACT->ACT), tCCD_S/L (col->col),
+    tFAW (4-ACT window).  Returns all violations (empty list = clean).
+    """
+    violations: List[TraceViolation] = []
+    entries = sorted(trace, key=lambda e: e.cycle)
+
+    def bank_key(e: TraceEntry) -> Tuple[int, int, int]:
+        return (e.rank, e.bank_group, e.bank)
+
+    # -- per-bank constraints ---------------------------------------------------
+    last_act: Dict[Tuple, TraceEntry] = {}
+    last_pre: Dict[Tuple, TraceEntry] = {}
+    for e in entries:
+        key = bank_key(e)
+        if e.command is DramCommand.ACT:
+            if key in last_act:
+                gap = e.cycle - last_act[key].cycle
+                if gap < timing.tRC:
+                    violations.append(
+                        TraceViolation("tRC", last_act[key], e, timing.tRC, gap)
+                    )
+            if key in last_pre:
+                gap = e.cycle - last_pre[key].cycle
+                if gap < timing.tRP:
+                    violations.append(
+                        TraceViolation("tRP", last_pre[key], e, timing.tRP, gap)
+                    )
+            last_act[key] = e
+        elif e.command in (DramCommand.RD, DramCommand.WR):
+            if key in last_act:
+                gap = e.cycle - last_act[key].cycle
+                if gap < timing.tRCD:
+                    violations.append(
+                        TraceViolation("tRCD", last_act[key], e, timing.tRCD, gap)
+                    )
+        elif e.command is DramCommand.PRE:
+            if key in last_act:
+                gap = e.cycle - last_act[key].cycle
+                if gap < timing.tRAS:
+                    violations.append(
+                        TraceViolation("tRAS", last_act[key], e, timing.tRAS, gap)
+                    )
+            last_pre[key] = e
+
+    # -- per-rank constraints ------------------------------------------------------
+    rank_acts: Dict[int, List[TraceEntry]] = {}
+    rank_cols: Dict[int, TraceEntry] = {}
+    for e in entries:
+        if e.command is DramCommand.ACT:
+            acts = rank_acts.setdefault(e.rank, [])
+            if acts:
+                prev = acts[-1]
+                rrd = (
+                    timing.tRRD_L
+                    if prev.bank_group == e.bank_group
+                    else timing.tRRD_S
+                )
+                gap = e.cycle - prev.cycle
+                if gap < rrd:
+                    violations.append(
+                        TraceViolation(
+                            "tRRD_L" if prev.bank_group == e.bank_group else "tRRD_S",
+                            prev, e, rrd, gap,
+                        )
+                    )
+            acts.append(e)
+            if len(acts) >= 5:
+                window = e.cycle - acts[-5].cycle
+                if window < timing.tFAW:
+                    violations.append(
+                        TraceViolation("tFAW", acts[-5], e, timing.tFAW, window)
+                    )
+        elif e.command in (DramCommand.RD, DramCommand.WR):
+            prev = rank_cols.get(e.rank)
+            if prev is not None:
+                ccd = (
+                    timing.tCCD_L
+                    if prev.bank_group == e.bank_group
+                    else timing.tCCD_S
+                )
+                gap = e.cycle - prev.cycle
+                if gap < ccd:
+                    violations.append(
+                        TraceViolation(
+                            "tCCD_L" if prev.bank_group == e.bank_group else "tCCD_S",
+                            prev, e, ccd, gap,
+                        )
+                    )
+            rank_cols[e.rank] = e
+    return violations

@@ -1,0 +1,54 @@
+"""NDP architecture models: commands, PUs, packets, engines, simulator."""
+
+from .aes_engine import AES_BLOCK_NS, AES_THROUGHPUT_GBPS, AesEngineModel
+from .commands import ArithEnc, NdpInst, NdpLd, NdpOp, SecNdpInst, SecNdpLd
+from .arith_enc import ArithEncResult, simulate_arith_enc
+from .dimm import NdpDimm
+from .executor import SecNdpExecutor, ShardedRegion
+from .packets import (
+    NdpPacket,
+    NdpWorkload,
+    PacketGenerator,
+    SimQuery,
+    TableGeometry,
+)
+from .pu import NdpPu
+from .secndp_engine import PacketTiming, SecNdpEngineModel
+from .simulator import NdpConfig, NdpRunResult, NdpSimulator
+from .storage import NearStorageSimulator, SsdGeometry, StorageRunResult
+from .verification import LINE_BYTES, TAG_BYTES, TagPlacement, TagScheme
+
+__all__ = [
+    "AES_BLOCK_NS",
+    "AES_THROUGHPUT_GBPS",
+    "AesEngineModel",
+    "ArithEnc",
+    "NdpInst",
+    "NdpLd",
+    "NdpOp",
+    "SecNdpInst",
+    "SecNdpLd",
+    "ArithEncResult",
+    "simulate_arith_enc",
+    "NdpDimm",
+    "SecNdpExecutor",
+    "ShardedRegion",
+    "NdpPacket",
+    "NdpWorkload",
+    "PacketGenerator",
+    "SimQuery",
+    "TableGeometry",
+    "NdpPu",
+    "PacketTiming",
+    "SecNdpEngineModel",
+    "NdpConfig",
+    "NdpRunResult",
+    "NdpSimulator",
+    "NearStorageSimulator",
+    "SsdGeometry",
+    "StorageRunResult",
+    "LINE_BYTES",
+    "TAG_BYTES",
+    "TagPlacement",
+    "TagScheme",
+]

@@ -1,0 +1,57 @@
+"""AES encryption-engine throughput model (paper Table II, [22]).
+
+The evaluation assumes a fully pipelined 45 nm AES design with 111.3 Gbps
+throughput, i.e. one 128-bit block every 1.15 ns per engine; ring
+additions/multiplications on the pad are pipelined behind the AES output
+cycle by cycle (Sec. VI-B).  The SecNDP engine instantiates ``n_engines``
+of these in parallel; OTP generation time for ``n`` blocks is therefore
+``ceil(n / n_engines) * 1.15 ns`` in steady state, which we approximate
+by the fluid ``n * 1.15 / n_engines`` (packets contain hundreds of
+blocks, so pipeline fill is negligible and the paper's own throughput
+analysis does the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["AesEngineModel", "AES_BLOCK_NS", "AES_THROUGHPUT_GBPS"]
+
+#: One 128-bit block per engine per 1.15 ns [22].
+AES_BLOCK_NS = 1.15
+#: Equivalent per-engine throughput: 128 bits / 1.15 ns = 111.3 Gbps.
+AES_THROUGHPUT_GBPS = 128 / AES_BLOCK_NS
+
+
+@dataclass(frozen=True)
+class AesEngineModel:
+    """Aggregate throughput of the SecNDP engine's AES pipelines."""
+
+    n_engines: int = 8
+    block_ns: float = AES_BLOCK_NS
+    #: pipeline latency for the first block (full AES rounds); only
+    #: matters for tiny transfers.
+    pipeline_fill_ns: float = 11.5
+
+    def __post_init__(self) -> None:
+        if self.n_engines < 1:
+            raise ConfigurationError("need at least one AES engine")
+        if self.block_ns <= 0:
+            raise ConfigurationError("block_ns must be positive")
+
+    def otp_time_ns(self, n_blocks: int, include_fill: bool = False) -> float:
+        """Time to generate ``n_blocks`` OTP blocks across all engines."""
+        if n_blocks <= 0:
+            return 0.0
+        steady = n_blocks * self.block_ns / self.n_engines
+        return steady + (self.pipeline_fill_ns if include_fill else 0.0)
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.n_engines * AES_THROUGHPUT_GBPS
+
+    def blocks_for_bytes(self, n_bytes: int) -> int:
+        """Number of OTP blocks covering ``n_bytes`` of ciphertext."""
+        return -(-n_bytes // 16)

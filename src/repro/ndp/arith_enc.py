@@ -1,0 +1,92 @@
+"""Timing model for the initial encryption step (``ArithEnc``, Sec. V-E1).
+
+Every SecNDP deployment pays a one-time T0 cost (Fig. 4): the matrix is
+read through the SecNDP engine, pad-subtracted, optionally tagged, and
+the ciphertext is written back to memory "like a cache line flush".
+This phase is bandwidth-bound on the write stream and AES-bound on pad
+generation, whichever is slower; the paper does not chart it (it is
+amortised over the table's lifetime), but sizing it matters for
+deployments that re-encrypt frequently (version churn under the 64-region
+budget).
+
+The model replays the writeback through the DDR4 controller and pairs it
+with the AES pipeline time, mirroring how the query path is modelled in
+:mod:`repro.ndp.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memsim.dram import DramSystem
+from ..memsim.timing import DDR4Timing, DramGeometry
+from .aes_engine import AesEngineModel
+from .verification import LINE_BYTES, TAG_BYTES
+
+__all__ = ["ArithEncResult", "simulate_arith_enc"]
+
+
+@dataclass(frozen=True)
+class ArithEncResult:
+    """Cost of encrypting (and tagging) one region."""
+
+    write_ns: float        #: DRAM writeback time for ciphertext (+ tags)
+    otp_ns: float          #: AES pad-generation time (data + tag pads)
+    checksum_elems: int    #: elements folded into row checksums
+    total_lines: int
+
+    @property
+    def total_ns(self) -> float:
+        """Pads are generated while previous lines drain: max, not sum."""
+        return max(self.write_ns, self.otp_ns)
+
+    @property
+    def aes_bound(self) -> bool:
+        return self.otp_ns > self.write_ns
+
+
+def simulate_arith_enc(
+    n_rows: int,
+    row_bytes: int,
+    with_tags: bool = True,
+    aes: Optional[AesEngineModel] = None,
+    timing: Optional[DDR4Timing] = None,
+    geometry: Optional[DramGeometry] = None,
+    base_addr: int = 0,
+) -> ArithEncResult:
+    """Replay one region's initial encryption.
+
+    The ciphertext writeback streams sequentially over the channel bus
+    (ArithEnc is issued from the processor side); tags are written inline
+    after each row when ``with_tags`` (the Ver-coloc layout - the cheapest
+    write path; other placements differ only marginally at init time).
+    """
+    aes = aes or AesEngineModel(n_engines=8)
+    timing = timing or DDR4Timing()
+    dram = DramSystem(timing, geometry or DramGeometry(), identity_pages=True)
+
+    stride = row_bytes + (TAG_BYTES if with_tags else 0)
+    total_bytes = n_rows * stride
+    first_line = base_addr // LINE_BYTES
+    last_line = (base_addr + total_bytes - 1) // LINE_BYTES
+    completion = 0
+    n_lines = 0
+    for line in range(first_line, last_line + 1):
+        res = dram.access_physical(line * LINE_BYTES, at=0, is_write=True)
+        completion = max(completion, res.completion_cycle)
+        n_lines += 1
+    write_ns = timing.cycles_to_ns(completion)
+
+    data_blocks = n_rows * (-(-row_bytes // 16))
+    tag_blocks = n_rows * (-(-TAG_BYTES // 16)) if with_tags else 0
+    # +1 block per region for the checksum secret s (E_01 domain).
+    otp_ns = aes.otp_time_ns(data_blocks + tag_blocks + (1 if with_tags else 0))
+
+    checksum_elems = n_rows * row_bytes // 4 if with_tags else 0
+    return ArithEncResult(
+        write_ns=write_ns,
+        otp_ns=otp_ns,
+        checksum_elems=checksum_elems,
+        total_lines=n_lines,
+    )

@@ -1,0 +1,104 @@
+"""NDP / SecNDP ISA-level command formats (paper Fig. 5).
+
+The baseline NDP protocol has two instruction families:
+
+* ``NDPInst`` - carries everything an NDP command needs: the data address,
+  the operation, vector/data sizes, an immediate (the weight ``a_i``), and
+  the destination register.
+* ``NDPLd`` - moves an NDP PU register back to the processor.
+
+SecNDP adds ``SecNDPInst`` / ``SecNDPLd``, which are the same formats
+plus a version-number field and a verification bit (Sec. V-B) - the NDP
+side cannot tell them apart from the baseline commands, which is the
+"no NDP changes" property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "NdpOp",
+    "NdpInst",
+    "NdpLd",
+    "SecNdpInst",
+    "SecNdpLd",
+    "ArithEnc",
+]
+
+
+class NdpOp(enum.Enum):
+    """Arithmetic operations an NDP PU supports (add / MAC; Sec. V)."""
+
+    MAC = "mac"          #: reg += imm * vector (weighted-summation step)
+    ADD = "add"          #: reg += vector
+    COPY = "copy"        #: reg = vector
+
+
+@dataclass(frozen=True)
+class NdpInst:
+    """Baseline NDP compute instruction (Fig. 5 operand list)."""
+
+    paddr: int           #: physical address of the row vector
+    op: NdpOp            #: operation to perform
+    vsize: int           #: vector length in elements (m)
+    dsize: int           #: element width in bits (w_e)
+    imm: int             #: immediate operand (the weight a_i)
+    reg_id: int          #: destination register in the NDP PU
+
+    @property
+    def vector_bytes(self) -> int:
+        return self.vsize * self.dsize // 8
+
+
+@dataclass(frozen=True)
+class NdpLd:
+    """Load an NDP PU register back to the processor."""
+
+    reg_id: int
+    vsize: int
+    dsize: int
+
+
+@dataclass(frozen=True)
+class SecNdpInst:
+    """SecNDP compute instruction: NDPInst + version + verification bit.
+
+    The extra fields are consumed by the SecNDP engine on the processor
+    side only; the NDP command derived from this instruction is a plain
+    :class:`NdpInst`.
+    """
+
+    inner: NdpInst
+    version: int
+    verify: bool = False
+
+    def to_ndp_command(self) -> NdpInst:
+        """The unmodified command actually dispatched to the NDP PU."""
+        return self.inner
+
+
+@dataclass(frozen=True)
+class SecNdpLd:
+    """SecNDP load: adds the OTP-PU share and (optionally) verifies."""
+
+    inner: NdpLd
+    verify: bool = False
+
+
+@dataclass(frozen=True)
+class ArithEnc:
+    """Initial-encryption instruction (Sec. V-E1).
+
+    Encrypts ``n_bytes`` at ``paddr`` under ``version`` and writes the
+    ciphertext back like a cache-line flush; when ``with_tags`` is set the
+    verification engine also emits a tag per ``row_bytes`` of data.
+    """
+
+    paddr: int
+    n_bytes: int
+    version: int
+    with_tags: bool = False
+    row_bytes: int = 0

@@ -1,0 +1,89 @@
+"""Functional NDP DIMM: rank PUs operating on stored ciphertext.
+
+Ties the functional pieces together the way the hardware would: a DIMM
+holds one :class:`~repro.ndp.pu.NdpPu` per NDP-enabled rank and a byte
+store per rank shard; executing a packet of :class:`NdpInst` commands
+reads vectors from the shard and MACs them into PU registers.  This is
+the *functional* complement of :class:`~repro.ndp.simulator.NdpSimulator`
+(which does timing only); integration tests use it to check that the
+packetised execution computes exactly what the protocol layer computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..crypto.prime_field import PrimeField
+from ..crypto.ring import Ring
+from ..errors import ConfigurationError
+from .commands import NdpInst, NdpLd, NdpOp
+from .pu import NdpPu
+
+__all__ = ["NdpDimm"]
+
+
+class NdpDimm:
+    """Functional model of an NDP DIMM with per-rank PUs and shards."""
+
+    def __init__(
+        self,
+        ring: Ring,
+        field: PrimeField,
+        n_ranks: int = 8,
+        n_registers: int = 8,
+    ):
+        if n_ranks < 1:
+            raise ConfigurationError("need at least one rank")
+        self.ring = ring
+        self.field = field
+        self.n_ranks = n_ranks
+        self.pus: List[NdpPu] = [
+            NdpPu(ring, field, n_registers) for _ in range(n_ranks)
+        ]
+        # rank -> bytearray-like flat element store
+        self._shards: Dict[int, np.ndarray] = {}
+
+    # -- shard storage -----------------------------------------------------------
+
+    def load_shard(self, rank: int, elements: np.ndarray) -> None:
+        """Install a rank's shard as a flat array of ring elements."""
+        self._check_rank(rank)
+        self._shards[rank] = np.ascontiguousarray(elements, dtype=self.ring.dtype)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def read_vector(self, rank: int, elem_offset: int, vsize: int) -> np.ndarray:
+        shard = self._shards[rank]
+        if elem_offset + vsize > len(shard):
+            raise ConfigurationError("vector read past end of shard")
+        return shard[elem_offset : elem_offset + vsize]
+
+    # -- command execution ----------------------------------------------------------
+
+    def execute(self, rank: int, inst: NdpInst) -> None:
+        """Execute one NDP command on the rank's PU.
+
+        ``inst.paddr`` is interpreted as a rank-local *element* offset
+        here (the functional store is element-addressed; the timing model
+        owns byte/line addressing).
+        """
+        self._check_rank(rank)
+        pu = self.pus[rank]
+        vector = self.read_vector(rank, inst.paddr, inst.vsize)
+        if inst.op is NdpOp.MAC:
+            pu.mac(inst.reg_id, inst.imm, vector)
+        elif inst.op is NdpOp.ADD:
+            pu.mac(inst.reg_id, 1, vector)
+        elif inst.op is NdpOp.COPY:
+            pu.clear(inst.reg_id)
+            pu.mac(inst.reg_id, 1, vector)
+        else:  # pragma: no cover - enum is closed
+            raise ConfigurationError(f"unsupported op {inst.op}")
+
+    def load(self, rank: int, ld: NdpLd) -> np.ndarray:
+        self._check_rank(rank)
+        return self.pus[rank].load(ld.reg_id)

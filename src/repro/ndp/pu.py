@@ -1,0 +1,83 @@
+"""Rank-level NDP processing unit (functional + occupancy model).
+
+Each NDP-enabled rank hosts one PU with ``NDP_reg`` registers
+(Sec. V, "Baseline NDP Architecture").  Registers hold intermediate
+weighted sums so several queries can be in flight without returning
+partial results; when a workload needs more simultaneous intermediates
+than there are registers, packets must be split - the register-pressure
+effect the paper sweeps via ``NDP_reg``.
+
+The PU here is deliberately minimal: an integer MAC datapath over ring
+elements plus a tag MAC over the prime field (for the extended-register
+design of Sec. V-D).  All *timing* is handled by the simulator; the PU
+tracks only functional state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..crypto.prime_field import PrimeField
+from ..crypto.ring import Ring
+from ..errors import ConfigurationError
+
+__all__ = ["NdpPu"]
+
+
+class NdpPu:
+    """One rank's NDP processing unit."""
+
+    def __init__(self, ring: Ring, field_: PrimeField, n_registers: int = 8):
+        if n_registers < 1:
+            raise ConfigurationError("NDP PU needs at least one register")
+        self.ring = ring
+        self.field = field_
+        self.n_registers = n_registers
+        self._regs: List[Optional[np.ndarray]] = [None] * n_registers
+        self._tag_regs: List[int] = [0] * n_registers
+        #: lifetime statistics
+        self.macs_executed = 0
+
+    def _check(self, reg: int) -> None:
+        if not 0 <= reg < self.n_registers:
+            raise ConfigurationError(
+                f"register {reg} out of range [0, {self.n_registers})"
+            )
+
+    def clear(self, reg: int) -> None:
+        self._check(reg)
+        self._regs[reg] = None
+        self._tag_regs[reg] = 0
+
+    def mac(self, reg: int, weight: int, vector: np.ndarray) -> None:
+        """reg += weight * vector (ring arithmetic)."""
+        self._check(reg)
+        contribution = self.ring.mul(
+            np.full(vector.shape, weight, dtype=self.ring.dtype),
+            np.asarray(vector, dtype=self.ring.dtype),
+        )
+        if self._regs[reg] is None:
+            self._regs[reg] = contribution
+        else:
+            self._regs[reg] = self.ring.add(self._regs[reg], contribution)
+        self.macs_executed += 1
+
+    def mac_tag(self, reg: int, weight: int, tag: int) -> None:
+        """tag_reg += weight * tag (prime-field arithmetic)."""
+        self._check(reg)
+        self._tag_regs[reg] = self.field.add(
+            self._tag_regs[reg], self.field.mul(weight, tag)
+        )
+
+    def load(self, reg: int) -> np.ndarray:
+        self._check(reg)
+        if self._regs[reg] is None:
+            raise ConfigurationError(f"register {reg} loaded before any MAC")
+        return self._regs[reg]
+
+    def load_tag(self, reg: int) -> int:
+        self._check(reg)
+        return self._tag_regs[reg]

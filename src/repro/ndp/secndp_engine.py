@@ -1,0 +1,64 @@
+"""SecNDP engine timing model: OTP-side latency and bottleneck attribution.
+
+For every NDP packet the SecNDP engine must generate the OTP blocks
+covering the packet's data (plus tag pads when verification is on) and
+stream them through the OTP PU.  The OTP PU's MAC datapath is pipelined
+behind the AES engines (Sec. VI-B: "addition and multiplication on the
+counter block are pipelined cycle-by-cycle after AES encryption"), so the
+OTP side is AES-throughput-bound.
+
+Per packet the effective latency is ``max(NDP latency, OTP latency)`` and
+the final SecNDPLd adds one adder cycle; packets whose OTP latency
+exceeds their NDP latency are "bottlenecked by decryption bandwidth" -
+the quantity Figures 8 and 10 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .aes_engine import AesEngineModel
+
+__all__ = ["PacketTiming", "SecNdpEngineModel"]
+
+
+@dataclass(frozen=True)
+class PacketTiming:
+    """Timing of one packet under SecNDP."""
+
+    ndp_ns: float
+    otp_ns: float
+
+    @property
+    def secndp_ns(self) -> float:
+        return max(self.ndp_ns, self.otp_ns)
+
+    @property
+    def decryption_bound(self) -> bool:
+        return self.otp_ns > self.ndp_ns
+
+
+@dataclass(frozen=True)
+class SecNdpEngineModel:
+    """Combines the AES pipeline model with per-packet accounting."""
+
+    aes: AesEngineModel
+
+    def packet_timing(self, ndp_ns: float, otp_blocks: int) -> PacketTiming:
+        return PacketTiming(ndp_ns=ndp_ns, otp_ns=self.aes.otp_time_ns(otp_blocks))
+
+    @staticmethod
+    def bottleneck_fraction(timings: List[PacketTiming]) -> float:
+        """Fraction of packets bottlenecked by decryption (Figs. 8/10)."""
+        if not timings:
+            return 0.0
+        return sum(1 for t in timings if t.decryption_bound) / len(timings)
+
+    @staticmethod
+    def total_ns(timings: List[PacketTiming]) -> float:
+        return sum(t.secndp_ns for t in timings)
+
+    @staticmethod
+    def total_ndp_only_ns(timings: List[PacketTiming]) -> float:
+        return sum(t.ndp_ns for t in timings)

@@ -1,0 +1,84 @@
+"""Bridges from functional workloads to the performance simulator.
+
+The NDP timing simulator consumes :class:`~repro.ndp.packets.NdpWorkload`
+(tables as geometry, queries as row-index sets).  These builders produce
+that representation for the two evaluation workloads, parameterised by
+element precision (32-bit vs 8-bit quantized) so the same trace can be
+replayed under every scheme of Figs. 7-10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..ndp.packets import NdpWorkload, SimQuery, TableGeometry
+from .dlrm import DlrmConfig
+from .traces import SlsTrace
+
+__all__ = ["sls_workload", "analytics_workload", "QUANT_SCALE_BIAS_BYTES"]
+
+#: fp32 scale + fp32 bias appended per row under row-wise quantization.
+QUANT_SCALE_BIAS_BYTES = 8
+
+
+def sls_workload(
+    config: DlrmConfig,
+    traces: Sequence[SlsTrace],
+    element_bytes: int = 4,
+    rowwise_quant: bool = False,
+    batch: Optional[int] = None,
+) -> NdpWorkload:
+    """The SLS (embedding) portion of a DLRM batch as an NDP workload.
+
+    ``traces`` supplies one trace per embedding table (trace ``t`` drives
+    table ``t``); each trace query is one sample's lookup into that
+    table, so ``batch`` samples consume ``batch`` queries from every
+    trace.  Queries are emitted sample-major (all tables of sample 0,
+    then sample 1, ...), matching how the model issues them.
+    """
+    if len(traces) != config.n_tables:
+        raise ConfigurationError(
+            f"need one trace per table ({config.n_tables}), got {len(traces)}"
+        )
+    row_payload = config.embedding_dim * element_bytes
+    if rowwise_quant and element_bytes != 4:
+        # Row-wise quantization stores scale/bias inline with each row.
+        row_payload += QUANT_SCALE_BIAS_BYTES
+    tables: Dict[int, TableGeometry] = {
+        t: TableGeometry(
+            n_rows=config.rows_per_table,
+            row_bytes=row_payload,
+            result_bytes=config.embedding_dim * 4,  # results return as fp32/int32
+        )
+        for t in range(config.n_tables)
+    }
+    n_samples = batch if batch is not None else min(tr.n_queries for tr in traces)
+    queries: List[SimQuery] = []
+    for s in range(n_samples):
+        for t, trace in enumerate(traces):
+            queries.append(SimQuery(table=t, rows=trace.indices[s % trace.n_queries]))
+    return NdpWorkload(tables=tables, queries=tuple(queries))
+
+
+def analytics_workload(
+    n_patients: int,
+    n_genes: int,
+    trace: SlsTrace,
+    element_bytes: int = 4,
+) -> NdpWorkload:
+    """The medical-analytics summation as an NDP workload.
+
+    One table: patients are rows, genes are columns (m = ``n_genes``);
+    each query pools a contiguous run of patient rows (Sec. VI-A:
+    m=1024 genes, PF=10,000 patients at paper scale).
+    """
+    tables = {
+        0: TableGeometry(
+            n_rows=n_patients,
+            row_bytes=n_genes * element_bytes,
+            result_bytes=n_genes * 4,
+        )
+    }
+    queries = tuple(SimQuery(table=0, rows=ix) for ix in trace.indices)
+    return NdpWorkload(tables=tables, queries=queries)

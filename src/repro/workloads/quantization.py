@@ -1,0 +1,175 @@
+"""Quantization schemes for embedding tables (paper Sec. VI-A, Fig. 6 right).
+
+The paper evaluates four precision settings (Table IV):
+
+* 32-bit floating point (reference),
+* 32-bit fixed point (what SecNDP computes over at full precision),
+* 8-bit **row-wise** quantization - scale/bias per row, the standard DLRM
+  scheme; efficient for plain NDP but *incompatible* with efficient
+  computation over ciphertext (the per-row scale multiplies ciphertext),
+* 8-bit **table-wise** and **column-wise** quantization - the paper's
+  proposed schemes where the scale/bias factor out of the pooling
+  (``res_j = resq_j * scale_j + bias_j * sum_k a_k``), so SLS runs
+  directly on quantized integers and the affine correction happens once
+  at the end.
+
+Each scheme implements ``quantize`` / ``dequantize`` and the pooled-
+result correction used by the secure SLS path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "FixedPointCodec",
+    "RowwiseQuantizer",
+    "TablewiseQuantizer",
+    "ColumnwiseQuantizer",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Symmetric fixed-point representation with ``frac_bits`` of fraction.
+
+    Used for the 32-bit fixed-point rows of Table IV: floats are scaled by
+    ``2^frac_bits`` and rounded to integers; pooling then happens in
+    integer arithmetic (which is what the ring carries) and results are
+    scaled back.
+    """
+
+    frac_bits: int = 16
+    total_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ConfigurationError("frac_bits must be in [0, total_bits)")
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.frac_bits)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        q = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        limit = float(1 << (self.total_bits - 1))
+        if np.any(np.abs(q) >= limit):
+            raise ConfigurationError("value out of fixed-point range")
+        return q.astype(np.int64)
+
+    def dequantize(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64) / self.scale
+
+
+def _affine_params(lo: float, hi: float, bits: int) -> Tuple[float, float]:
+    """Scale/bias mapping [lo, hi] onto the unsigned integer range."""
+    qmax = (1 << bits) - 1
+    span = hi - lo
+    scale = span / qmax if span > 0 else 1.0
+    return scale, lo
+
+
+class RowwiseQuantizer:
+    """Per-row affine 8-bit quantization (the standard DLRM scheme)."""
+
+    def __init__(self, bits: int = 8):
+        self.bits = bits
+
+    def quantize(self, table: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns (q, scales, biases) with per-row scale/bias."""
+        table = np.asarray(table, dtype=np.float64)
+        lo = table.min(axis=1)
+        hi = table.max(axis=1)
+        qmax = (1 << self.bits) - 1
+        span = np.where(hi > lo, hi - lo, 1.0)
+        scales = span / qmax
+        biases = lo
+        q = np.rint((table - biases[:, None]) / scales[:, None])
+        return q.astype(np.uint8 if self.bits <= 8 else np.uint16), scales, biases
+
+    def dequantize(
+        self, q: np.ndarray, scales: np.ndarray, biases: np.ndarray
+    ) -> np.ndarray:
+        return q.astype(np.float64) * scales[:, None] + biases[:, None]
+
+    def pooled(
+        self,
+        q: np.ndarray,
+        scales: np.ndarray,
+        biases: np.ndarray,
+        rows: Sequence[int],
+        weights: Sequence[float],
+    ) -> np.ndarray:
+        """Weighted pooling - needs the per-row scale *inside* the sum,
+        which is the property that makes this scheme hostile to
+        computation over ciphertext."""
+        rows = np.asarray(rows, dtype=np.int64)
+        w = np.asarray(weights, dtype=np.float64)
+        vals = q[rows].astype(np.float64) * scales[rows][:, None] + biases[rows][:, None]
+        return (w[:, None] * vals).sum(axis=0)
+
+
+class TablewiseQuantizer:
+    """One scale/bias for the whole table (paper's proposed scheme)."""
+
+    def __init__(self, bits: int = 8):
+        self.bits = bits
+
+    def quantize(self, table: np.ndarray) -> Tuple[np.ndarray, float, float]:
+        table = np.asarray(table, dtype=np.float64)
+        scale, bias = _affine_params(float(table.min()), float(table.max()), self.bits)
+        q = np.rint((table - bias) / scale)
+        return q.astype(np.uint8 if self.bits <= 8 else np.uint16), scale, bias
+
+    def dequantize(self, q: np.ndarray, scale: float, bias: float) -> np.ndarray:
+        return q.astype(np.float64) * scale + bias
+
+    def correct_pooled(
+        self,
+        pooled_q: np.ndarray,
+        scale: float,
+        bias: float,
+        weights: Sequence[float],
+    ) -> np.ndarray:
+        """``res = resq * scale + bias * sum(a)`` - the final affine step
+        applied after integer pooling (possibly over ciphertext)."""
+        wsum = float(np.sum(np.asarray(weights, dtype=np.float64)))
+        return np.asarray(pooled_q, dtype=np.float64) * scale + bias * wsum
+
+
+class ColumnwiseQuantizer:
+    """One scale/bias per column (paper's finer-grained proposal)."""
+
+    def __init__(self, bits: int = 8):
+        self.bits = bits
+
+    def quantize(self, table: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        table = np.asarray(table, dtype=np.float64)
+        lo = table.min(axis=0)
+        hi = table.max(axis=0)
+        qmax = (1 << self.bits) - 1
+        span = np.where(hi > lo, hi - lo, 1.0)
+        scales = span / qmax
+        biases = lo
+        q = np.rint((table - biases[None, :]) / scales[None, :])
+        return q.astype(np.uint8 if self.bits <= 8 else np.uint16), scales, biases
+
+    def dequantize(
+        self, q: np.ndarray, scales: np.ndarray, biases: np.ndarray
+    ) -> np.ndarray:
+        return q.astype(np.float64) * scales[None, :] + biases[None, :]
+
+    def correct_pooled(
+        self,
+        pooled_q: np.ndarray,
+        scales: np.ndarray,
+        biases: np.ndarray,
+        weights: Sequence[float],
+    ) -> np.ndarray:
+        wsum = float(np.sum(np.asarray(weights, dtype=np.float64)))
+        return np.asarray(pooled_q, dtype=np.float64) * scales + biases * wsum

@@ -1,0 +1,238 @@
+"""High-level secure embedding store: quantized SLS over SecNDP.
+
+This is the deployment-facing API the paper's DLRM use case implies: an
+enclave owns a set of embedding tables, quantizes them with one of the
+ciphertext-friendly schemes (table-wise or column-wise, Sec. VI-A),
+encrypts them into untrusted memory, and serves verified
+SparseLengthsWeightedSum queries whose affine correction happens on the
+trusted side.
+
+The store also enforces the overflow budget of footnote 1 /
+Thm. A.2: at construction it computes the largest pooling factor for
+which `PF * max(a) * max(q)` fits the ring, and rejects larger queries
+up front rather than letting verification fail at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.params import SecNDPParams
+from ..core.protocol import SecNDPProcessor, UntrustedNdpDevice
+from ..errors import ConfigurationError
+from .quantization import ColumnwiseQuantizer, TablewiseQuantizer
+
+__all__ = ["SecureEmbeddingStore"]
+
+_BLOCK_BYTES = 16
+
+
+@dataclass
+class _TableEntry:
+    name: str
+    scale: np.ndarray      # scalar (table-wise) or per-column vector
+    bias: np.ndarray
+    n_rows: int
+    dim: int
+    max_quant: int
+
+
+class SecureEmbeddingStore:
+    """Quantize, encrypt and serve embedding tables through SecNDP.
+
+    Parameters
+    ----------
+    processor / device:
+        The trusted and untrusted protocol parties.
+    quantization:
+        ``"table"`` (one scale/bias per table) or ``"column"`` (per
+        column); both commute with pooling over ciphertext.
+    bits:
+        Quantized integer width (8 in the paper's evaluation).
+    verify:
+        Attach tags and verify every query (default True).
+    base_addr:
+        Start of the arena in untrusted memory where tables are placed.
+    """
+
+    def __init__(
+        self,
+        processor: SecNDPProcessor,
+        device: UntrustedNdpDevice,
+        quantization: str = "table",
+        bits: int = 8,
+        verify: bool = True,
+        base_addr: int = 0x100000,
+    ):
+        if quantization not in ("table", "column"):
+            raise ConfigurationError(
+                f"quantization must be 'table' or 'column', got {quantization!r}"
+            )
+        self.processor = processor
+        self.device = device
+        self.quantization = quantization
+        self.bits = bits
+        self.verify = verify
+        self._cursor = base_addr
+        self._tables: Dict[str, _TableEntry] = {}
+
+    # -- loading ---------------------------------------------------------------
+
+    def add_table(self, name: str, values: np.ndarray) -> None:
+        """Quantize + encrypt one float table into untrusted memory."""
+        if name in self._tables:
+            raise ConfigurationError(f"table {name!r} already loaded")
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ConfigurationError("embedding table must be 2-D")
+        if self.quantization == "table":
+            q, scale, bias = TablewiseQuantizer(self.bits).quantize(values)
+            scale_arr = np.full(values.shape[1], scale)
+            bias_arr = np.full(values.shape[1], bias)
+        else:
+            q, scales, biases = ColumnwiseQuantizer(self.bits).quantize(values)
+            scale_arr, bias_arr = scales, biases
+
+        # Pad columns so each row fills whole cipher blocks (Alg. 1 chunks
+        # the matrix into w_c-bit blocks); padding columns are sliced off
+        # at query time.
+        elems_per_block = self.processor.params.elements_per_block
+        pad_cols = (-q.shape[1]) % elems_per_block
+        if pad_cols:
+            q = np.concatenate(
+                [q, np.zeros((q.shape[0], pad_cols), dtype=q.dtype)], axis=1
+            )
+
+        ring = self.processor.ring
+        encoded = ring.encode(q.astype(np.int64))
+        enc = self.processor.encrypt_matrix(
+            encoded, self._cursor, f"emb/{name}", with_tags=self.verify
+        )
+        self.device.store(name, enc)
+        footprint = encoded.size * self.processor.params.element_bytes
+        self._cursor = -(-(self._cursor + footprint) // _BLOCK_BYTES) * _BLOCK_BYTES
+
+        self._tables[name] = _TableEntry(
+            name=name,
+            scale=scale_arr,
+            bias=bias_arr,
+            n_rows=values.shape[0],
+            dim=values.shape[1],
+            max_quant=int(q.max()) if q.size else 0,
+        )
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    # -- overflow budgeting ---------------------------------------------------------
+
+    def max_pooling_factor(self, name: str, max_weight: int = 1) -> int:
+        """Largest PF guaranteed not to overflow the ring for this table.
+
+        Verification treats a column sum reaching ``2^w_e`` as a fault
+        (Thm. A.2), so callers must stay under
+        ``PF * max_weight * max(q) < 2^w_e``.
+        """
+        entry = self._tables[name]
+        per_term = max(entry.max_quant, 1) * max(max_weight, 1)
+        return max((self.processor.ring.modulus - 1) // per_term, 0)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def sls(
+        self,
+        name: str,
+        rows: Sequence[int],
+        weights: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Verified SparseLengths(Weighted)Sum, returned as floats.
+
+        The NDP side pools quantized ciphertext; the trusted side applies
+        the affine correction ``res = resq * scale + bias * sum(a)``.
+        Weights must be non-negative integers (the protocol operates on
+        ring residues; Sec. IV-A).
+        """
+        entry = self._tables[name]
+        if weights is None:
+            weights = [1] * len(rows)
+        weights = [int(w) for w in weights]
+        if any(w < 0 for w in weights):
+            raise ConfigurationError("weights must be non-negative integers")
+        if len(weights) != len(rows):
+            raise ConfigurationError("rows and weights must have equal length")
+        max_w = max(weights, default=1)
+        if len(rows) > self.max_pooling_factor(name, max_w):
+            raise ConfigurationError(
+                f"pooling factor {len(rows)} with max weight {max_w} may "
+                f"overflow Z(2^{self.processor.params.element_bits}) for "
+                f"table {name!r}; split the query"
+            )
+        result = self.processor.weighted_row_sum(
+            self.device, name, list(rows), weights, verify=self.verify
+        )
+        pooled_q = result.values.astype(np.float64)[: entry.dim]
+        return pooled_q * entry.scale + entry.bias * float(sum(weights))
+
+    def sls_split(
+        self,
+        name: str,
+        rows: Sequence[int],
+        weights: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Like :meth:`sls` but transparently splits oversized queries.
+
+        A pooling factor beyond the ring's overflow budget is broken into
+        chunks that each verify independently; the chunk results are
+        summed in the (float) corrected domain.  This is how a deployment
+        serves the analytics workload's PF=10,000 queries with an 8-bit
+        element ring, at the cost of one extra verification per chunk.
+        """
+        if weights is None:
+            weights = [1] * len(rows)
+        if len(weights) != len(rows):
+            raise ConfigurationError("rows and weights must have equal length")
+        if not rows:
+            raise ConfigurationError("empty query")
+        max_w = max(int(w) for w in weights)
+        budget = self.max_pooling_factor(name, max_w)
+        if budget < 1:
+            raise ConfigurationError(
+                f"even a single row may overflow the ring for table {name!r}"
+            )
+        total = np.zeros(self._tables[name].dim)
+        for start in range(0, len(rows), budget):
+            total += self.sls(
+                name,
+                list(rows[start : start + budget]),
+                list(weights[start : start + budget]),
+            )
+        return total
+
+    def sls_batch(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+    ) -> np.ndarray:
+        """Pooled vectors for a batch of queries -> (batch, dim)."""
+        out = np.zeros((len(batch_rows), self._tables[name].dim))
+        for i, rows in enumerate(batch_rows):
+            weights = batch_weights[i] if batch_weights is not None else None
+            out[i] = self.sls(name, rows, weights)
+        return out
+
+    # -- reference ---------------------------------------------------------------------
+
+    def dequantized_table(self, name: str) -> np.ndarray:
+        """Plaintext view of the quantized table (for accuracy analysis).
+
+        Requires the trusted side: decrypts the stored ciphertext and
+        applies the affine map - bit-identical to what :meth:`sls` pools.
+        """
+        entry = self._tables[name]
+        enc = self.device.stored(name)
+        q = self.processor.decrypt_matrix(enc).astype(np.float64)[:, : entry.dim]
+        return q * entry.scale[None, :] + entry.bias[None, :]

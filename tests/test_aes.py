@@ -1,0 +1,117 @@
+"""AES-128 correctness: FIPS-197 vectors, structure, vectorised parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    AES128,
+    BLOCK_BYTES,
+    KEY_BYTES,
+    SBOX,
+    aes128_encrypt_blocks,
+)
+
+
+class TestSbox:
+    def test_known_entries(self):
+        # FIPS-197 Figure 7 spot checks.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_no_fixed_points(self):
+        # The AES S-box has no fixed points and no anti-fixed points.
+        assert all(SBOX[i] != i for i in range(256))
+        assert all(SBOX[i] != (i ^ 0xFF) for i in range(256))
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        ct = AES128(key).encrypt_block(pt)
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        ct = AES128(key).encrypt_block(pt)
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_nist_ecb_kat(self):
+        # NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, first block.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ct = AES128(key).encrypt_block(pt)
+        assert ct.hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+
+class TestValidation:
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_rejects_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(KEY_BYTES)).encrypt_block(b"short")
+
+    def test_vectorised_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_blocks(bytes(16), np.zeros((4, 8), dtype=np.uint8))
+
+
+class TestDeterminismAndSensitivity:
+    def test_deterministic(self):
+        c = AES128(bytes(16))
+        assert c.encrypt_block(bytes(16)) == c.encrypt_block(bytes(16))
+
+    def test_key_sensitivity(self):
+        pt = bytes(16)
+        a = AES128(bytes(16)).encrypt_block(pt)
+        b = AES128(bytes([1]) + bytes(15)).encrypt_block(pt)
+        assert a != b
+
+    def test_plaintext_sensitivity_avalanche(self):
+        c = AES128(bytes(16))
+        a = c.encrypt_block(bytes(16))
+        b = c.encrypt_block(bytes([1]) + bytes(15))
+        # Single-bit input change flips ~half the output bits.
+        diff = bin(int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).count("1")
+        assert 32 <= diff <= 96
+
+    def test_encrypt_int_matches_bytes(self):
+        c = AES128(bytes(range(16)))
+        value = int.from_bytes(bytes(range(16)), "big")
+        assert c.encrypt_int(value) == int.from_bytes(
+            c.encrypt_block(bytes(range(16))), "big"
+        )
+
+
+class TestVectorisedParity:
+    @given(st.binary(min_size=16, max_size=16), st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_scalar(self, key, n_blocks):
+        rng = np.random.default_rng(n_blocks)
+        blocks = rng.integers(0, 256, size=(n_blocks, BLOCK_BYTES), dtype=np.uint8)
+        vec = aes128_encrypt_blocks(key, blocks)
+        scalar = AES128(key)
+        for i in range(n_blocks):
+            assert bytes(vec[i]) == scalar.encrypt_block(bytes(blocks[i]))
+
+    def test_empty_batch(self):
+        out = aes128_encrypt_blocks(bytes(16), np.zeros((0, 16), dtype=np.uint8))
+        assert out.shape == (0, 16)
+
+    def test_large_batch_consistent(self):
+        blocks = np.tile(np.arange(16, dtype=np.uint8), (1000, 1))
+        out = aes128_encrypt_blocks(bytes(16), blocks)
+        # identical inputs -> identical outputs
+        assert np.all(out == out[0])

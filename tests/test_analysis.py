@@ -1,0 +1,122 @@
+"""Energy (Table V), area (Sec. VII-C), accuracy (Table IV) analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AreaModel,
+    EngineEnergyParams,
+    PAPER_AES_ENGINES,
+    PAPER_TOTAL_MM2,
+    normalized_table5,
+    quantization_accuracy,
+    table5_rows,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable5:
+    def test_five_scenarios(self):
+        rows = table5_rows()
+        assert [r.name for r in rows] == [
+            "unprotected non-NDP",
+            "unprotected NDP",
+            "non-NDP Enc",
+            "SecNDP Enc",
+            "SecNDP Enc+ver",
+        ]
+
+    def test_paper_coefficients(self):
+        rows = {r.name: r for r in table5_rows()}
+        base = rows["unprotected non-NDP"]
+        assert base.dimm_pj_per_bit == pytest.approx(27.42)
+        assert base.io_pj_per_bit_pf == pytest.approx(7.3)
+        assert rows["non-NDP Enc"].engine_pj_per_bit_pf == pytest.approx(0.5)
+        assert rows["SecNDP Enc"].engine_pj_per_bit_pf == pytest.approx(0.9)
+
+    def test_normalized_matches_paper_pf80(self):
+        """Paper Table V normalised column: 100 / 79.2 / 101.5 / 81.83 / 92.09."""
+        norm = normalized_table5(pf=80)
+        assert norm["unprotected non-NDP"] == pytest.approx(100.0)
+        assert norm["unprotected NDP"] == pytest.approx(79.2, abs=0.5)
+        assert norm["non-NDP Enc"] == pytest.approx(101.5, abs=0.5)
+        assert norm["SecNDP Enc"] == pytest.approx(81.83, abs=0.5)
+        assert norm["SecNDP Enc+ver"] == pytest.approx(92.09, abs=0.8)
+
+    def test_orderings_hold_at_any_pf(self):
+        for pf in (10, 40, 80, 200):
+            norm = normalized_table5(pf=pf)
+            assert norm["unprotected NDP"] < 100.0
+            assert norm["non-NDP Enc"] > 100.0
+            assert norm["SecNDP Enc"] > norm["unprotected NDP"]
+            assert norm["SecNDP Enc+ver"] > norm["SecNDP Enc"]
+            assert norm["SecNDP Enc+ver"] < 100.0  # still saves energy
+
+    def test_engine_coefficients_derived(self):
+        e = EngineEnergyParams()
+        assert e.enc_pj_per_bit == pytest.approx(e.aes_block_pj / 128)
+        assert e.secndp_pj_per_bit > e.enc_pj_per_bit
+
+
+class TestArea:
+    def test_paper_total(self):
+        assert AreaModel().total_mm2(PAPER_AES_ENGINES) == pytest.approx(
+            PAPER_TOTAL_MM2, abs=0.01
+        )
+
+    def test_scales_with_engines(self):
+        m = AreaModel()
+        assert m.total_mm2(20) > m.total_mm2(10) > m.total_mm2(1)
+
+    def test_node_scaling(self):
+        m = AreaModel()
+        scaled = m.scaled_to_node(1.625, from_nm=45, to_nm=7)
+        assert scaled == pytest.approx(1.625 * (7 / 45) ** 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            AreaModel().total_mm2(0)
+        with pytest.raises(ConfigurationError):
+            AreaModel().scaled_to_node(1.0, from_nm=0)
+
+
+class TestAccuracySmoke:
+    """Fast, shape-level checks; the full Table IV runs in the benchmark."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return quantization_accuracy(
+            n_tables=2,
+            rows_per_table=128,
+            n_train=600,
+            n_eval=400,
+            epochs=3,
+            seed=1,
+        )
+
+    def test_all_schemes_present(self, report):
+        assert "32-bit floating point" in report.logloss
+        assert "32-bit fixed point" in report.logloss
+        assert "table-wise quantization (8-bit)" in report.logloss
+        assert "column-wise quantization (8-bit)" in report.logloss
+
+    def test_logloss_in_sane_band(self, report):
+        for ll in report.logloss.values():
+            assert 0.3 < ll < 0.8
+
+    def test_fixed32_nearly_identical_to_fp32(self, report):
+        assert abs(report.degradation("32-bit fixed point")) < 1e-4
+
+    def test_8bit_degradation_below_paper_threshold(self, report):
+        """Paper: <= 0.07% LogLoss degradation for 8-bit schemes."""
+        for scheme in (
+            "table-wise quantization (8-bit)",
+            "column-wise quantization (8-bit)",
+        ):
+            assert abs(report.degradation_pct(scheme)) < 0.5
+
+    def test_rows_render(self, report):
+        rows = report.rows()
+        assert len(rows) >= 4
+        assert rows[0][0] == "32-bit floating point"

@@ -1,0 +1,121 @@
+"""Medical analytics: secure sums, Welch t-test, end-to-end equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import ConfigurationError, VerificationError
+from repro.workloads import (
+    SecureGeneDatabase,
+    gene_expression,
+    welch_t_test,
+)
+
+KEY = bytes(range(16))
+
+
+class TestWelchTTest:
+    def test_identical_groups_t_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(5, 1, size=500)
+        b = rng.normal(5, 1, size=500)
+        res = welch_t_test(
+            a.sum(), (a**2).sum(), len(a), b.sum(), (b**2).sum(), len(b)
+        )
+        assert abs(res.t_statistic) < 3
+        assert not res.significant_at_3sigma
+
+    def test_shifted_groups_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(7, 1, size=500)
+        b = rng.normal(5, 1, size=500)
+        res = welch_t_test(
+            a.sum(), (a**2).sum(), len(a), b.sum(), (b**2).sum(), len(b)
+        )
+        assert res.t_statistic > 10
+        assert res.significant_at_3sigma
+        assert res.mean_case > res.mean_control
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(2)
+        a = rng.normal(5.2, 1.3, size=300)
+        b = rng.normal(5.0, 0.9, size=400)
+        ours = welch_t_test(
+            a.sum(), (a**2).sum(), len(a), b.sum(), (b**2).sum(), len(b)
+        )
+        ref = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.t_statistic == pytest.approx(ref.statistic, rel=1e-9)
+
+    def test_degenerate_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            welch_t_test(1.0, 1.0, 1, 2.0, 4.0, 10)
+
+    def test_zero_variance(self):
+        res = welch_t_test(10.0, 20.0, 5, 10.0, 20.0, 5)  # constant groups
+        assert res.t_statistic == 0.0
+
+
+@pytest.fixture(scope="module")
+def secure_db():
+    data = gene_expression(128, 32, n_disease_genes=4, effect_size=2.5, seed=3)
+    params = SecNDPParams(element_bits=32)
+    processor = SecNDPProcessor(KEY, params)
+    device = UntrustedNdpDevice(params)
+    db = SecureGeneDatabase(data, processor, device, verify=True)
+    return data, db, device
+
+
+class TestSecureGeneDatabase:
+    def test_group_sum_matches_plaintext(self, secure_db):
+        data, db, _ = secure_db
+        ids = [0, 5, 9, 40]
+        secure = db.group_sum(ids)
+        plain = data.expression[ids].sum(axis=0)
+        # Fixed-point at 8 fractional bits: error <= n * 2^-9 per element.
+        assert np.max(np.abs(secure - plain)) < len(ids) * 0.01
+
+    def test_group_sum_squares(self, secure_db):
+        data, db, _ = secure_db
+        ids = list(range(16))
+        secure = db.group_sum_squares(ids)
+        plain = (data.expression[ids] ** 2).sum(axis=0)
+        assert np.max(np.abs(secure - plain) / np.maximum(plain, 1)) < 0.01
+
+    def test_t_test_finds_disease_gene(self, secure_db):
+        data, db, _ = secure_db
+        disease = int(data.disease_genes[0])
+        res = db.t_test(disease)
+        assert res.significant_at_3sigma
+        assert res.mean_case > res.mean_control
+
+    def test_t_test_rejects_null_gene(self, secure_db):
+        data, db, _ = secure_db
+        null_gene = next(
+            g for g in range(data.n_genes) if g not in set(data.disease_genes)
+        )
+        res = db.t_test(null_gene)
+        assert abs(res.t_statistic) < 4  # generous bound on a 32-gene panel
+
+    def test_t_test_matches_plaintext(self, secure_db):
+        data, db, _ = secure_db
+        gene = int(data.disease_genes[1])
+        secure = db.t_test(gene)
+        case = data.expression[data.is_case, gene]
+        ctrl = data.expression[~data.is_case, gene]
+        plain = welch_t_test(
+            case.sum(), (case**2).sum(), len(case),
+            ctrl.sum(), (ctrl**2).sum(), len(ctrl),
+        )
+        assert secure.t_statistic == pytest.approx(plain.t_statistic, rel=0.05)
+
+    def test_tampering_detected(self, secure_db):
+        _, db, device = secure_db
+        device.tamper_results(7)
+        try:
+            with pytest.raises(VerificationError):
+                db.group_sum([0, 1, 2])
+        finally:
+            device.behave_honestly()

@@ -1,0 +1,90 @@
+"""Analytic AES-provisioning model vs paper claims and the simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bandwidth import BandwidthModel
+from repro.ndp import (
+    AesEngineModel,
+    NdpConfig,
+    NdpSimulator,
+    NdpWorkload,
+    SimQuery,
+    TableGeometry,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BandwidthModel()
+
+
+class TestRates:
+    def test_channel_peak_is_ddr4_2400(self, model):
+        # 64 B per 4 cycles at 1200 MHz = 19.2 GB/s.
+        assert model.channel_peak_gbps == pytest.approx(19.2, rel=0.01)
+
+    def test_rank_burst_rates(self, model):
+        assert model.rank_burst_gbps(False) == pytest.approx(19.2, rel=0.01)
+        assert model.rank_burst_gbps(True) == pytest.approx(12.8, rel=0.01)
+
+    def test_engine_rate_matches_reference(self, model):
+        # 111.3 Gbps = 13.9 GB/s.
+        assert model.engine_gbps == pytest.approx(13.9, abs=0.05)
+
+
+class TestProvisioning:
+    def test_burst_mode_matches_paper_ten(self, model):
+        """Sec. VII-A: ~10 engines for NDP_rank=8 in burst mode."""
+        assert 9 <= model.engines_for_burst_mode(8) <= 12
+
+    def test_scaling_with_ranks(self, model):
+        counts = [model.engines_for_burst_mode(r) for r in (1, 2, 4, 8)]
+        assert counts == sorted(counts)
+        assert counts[0] >= 1
+
+    def test_tee_needs_roughly_two(self, model):
+        """A conventional TEE needs far fewer engines than SecNDP."""
+        assert 1 <= model.engines_for_tee() <= 2
+        assert model.engines_for_tee() < model.engines_for_burst_mode(8)
+
+    def test_sustained_below_burst(self, model):
+        assert model.engines_for_sustained(8, 0.6) <= model.engines_for_burst_mode(8)
+
+    def test_invalid_fraction(self, model):
+        with pytest.raises(ValueError):
+            model.engines_for_sustained(8, 0.0)
+
+    def test_quantization_ratio_about_one_third(self, model):
+        """128 B rows + tag vs 32 B rows + tag: the paper's ~1/3 claim."""
+        full = model.quantization_engine_ratio(128 + 16, 32 + 16)
+        assert 0.30 <= full <= 0.40
+
+
+class TestCrossCheckWithSimulator:
+    def test_analytic_count_clears_the_simulated_bottleneck(self):
+        """Provisioning at the analytic burst-mode count must leave (almost)
+        no packet decryption-bound in the simulator."""
+        model = BandwidthModel()
+        rng = np.random.default_rng(0)
+        tables = {0: TableGeometry(50_000, 128, 128)}
+        queries = tuple(
+            SimQuery(0, tuple(int(x) for x in rng.integers(0, 50_000, size=80)))
+            for _ in range(32)
+        )
+        run = NdpSimulator(NdpConfig(8, 8)).run(
+            NdpWorkload(tables=tables, queries=queries)
+        )
+        n_burst = model.engines_for_burst_mode(8)
+        assert run.decryption_bound_fraction(AesEngineModel(n_burst)) < 0.05
+        # The simulated requirement brackets between a pessimistic
+        # sustained estimate and the burst-mode peak.
+        n_needed = next(
+            n
+            for n in range(1, 33)
+            if run.decryption_bound_fraction(AesEngineModel(n)) < 0.05
+        )
+        n_floor = model.engines_for_sustained(8, achieved_fraction=0.25)
+        assert n_floor <= n_needed <= n_burst

@@ -1,0 +1,80 @@
+"""Direct unit tests: Bank FSM and PacketTiming attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim import DDR4Timing
+from repro.memsim.bank import Bank
+from repro.ndp import PacketTiming, SecNdpEngineModel, AesEngineModel
+
+T = DDR4Timing()
+
+
+class TestBank:
+    def test_activate_sets_windows(self):
+        bank = Bank(T)
+        t = bank.activate(row=5, at=10)
+        assert t == 10
+        assert bank.open_row == 5
+        assert bank.next_act == 10 + T.tRC
+        assert bank.next_rdwr == 10 + T.tRCD
+        assert bank.next_pre == 10 + T.tRAS
+
+    def test_activate_respects_trc(self):
+        bank = Bank(T)
+        bank.activate(1, at=0)
+        bank.precharge(at=T.tRAS)
+        t = bank.activate(2, at=0)
+        assert t >= T.tRC  # tRC from the first ACT binds over tRP
+
+    def test_precharge_respects_tras(self):
+        bank = Bank(T)
+        bank.activate(1, at=0)
+        t = bank.precharge(at=0)
+        assert t == T.tRAS
+        assert bank.open_row is None
+
+    def test_read_extends_pre_window(self):
+        bank = Bank(T)
+        bank.activate(1, at=0)
+        rd_cycle = T.tRAS  # a late read
+        bank.note_read(rd_cycle)
+        assert bank.next_pre >= rd_cycle + T.tCL + T.tBL
+
+    def test_write_recovery(self):
+        bank = Bank(T)
+        bank.activate(1, at=0)
+        bank.note_write(wr_cycle=20)
+        assert bank.next_pre >= 20 + T.tCL + T.tBL + T.tWR
+
+
+class TestPacketTiming:
+    def test_secndp_is_max(self):
+        t = PacketTiming(ndp_ns=100.0, otp_ns=80.0)
+        assert t.secndp_ns == 100.0
+        assert not t.decryption_bound
+        t2 = PacketTiming(ndp_ns=100.0, otp_ns=130.0)
+        assert t2.secndp_ns == 130.0
+        assert t2.decryption_bound
+
+    def test_tie_is_not_bound(self):
+        assert not PacketTiming(100.0, 100.0).decryption_bound
+
+    def test_aggregations(self):
+        timings = [
+            PacketTiming(100.0, 50.0),
+            PacketTiming(100.0, 150.0),
+            PacketTiming(100.0, 100.0),
+        ]
+        assert SecNdpEngineModel.total_ns(timings) == 100 + 150 + 100
+        assert SecNdpEngineModel.total_ndp_only_ns(timings) == 300
+        assert SecNdpEngineModel.bottleneck_fraction(timings) == pytest.approx(1 / 3)
+
+    def test_empty_fraction(self):
+        assert SecNdpEngineModel.bottleneck_fraction([]) == 0.0
+
+    def test_engine_model_packet_timing(self):
+        model = SecNdpEngineModel(AesEngineModel(n_engines=2))
+        timing = model.packet_timing(ndp_ns=100.0, otp_blocks=400)
+        assert timing.otp_ns == pytest.approx(400 * 1.15 / 2)

@@ -1,0 +1,165 @@
+"""Linear checksums (Alg. 2 / Alg. 8) and the encrypted MAC (Alg. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArithmeticEncryptor,
+    EncryptedLinearMac,
+    LinearChecksum,
+    MultiPointChecksum,
+    SecNDPParams,
+)
+from repro.crypto import TweakedCipher
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture
+def setup():
+    params = SecNDPParams(element_bits=32)
+    cipher = TweakedCipher(KEY)
+    return cipher, params
+
+
+class TestLinearChecksum:
+    def test_secret_point_depends_on_addr_and_version(self, setup):
+        cipher, params = setup
+        cs = LinearChecksum(cipher, params)
+        s1 = cs.secret_point(0x1000, 0)
+        assert s1 != cs.secret_point(0x2000, 0)
+        assert s1 != cs.secret_point(0x1000, 1)
+        assert s1 == cs.secret_point(0x1000, 0)
+
+    def test_secret_point_in_field(self, setup):
+        cipher, params = setup
+        cs = LinearChecksum(cipher, params)
+        assert 0 <= cs.secret_point(0x1000, 0) < params.tag_modulus
+
+    def test_row_tag_matches_definition(self, setup):
+        cipher, params = setup
+        cs = LinearChecksum(cipher, params)
+        q = params.tag_modulus
+        s = 12345
+        row = [7, 11, 13]
+        expected = (7 * pow(s, 3, q) + 11 * pow(s, 2, q) + 13 * s) % q
+        assert cs.row_tag(row, s) == expected
+
+    def test_matrix_tags_linearity(self, setup):
+        """a x h(P) == h(a x P): the identity that makes verification work."""
+        cipher, params = setup
+        cs = LinearChecksum(cipher, params)
+        field = params.field()
+        rng = np.random.default_rng(2)
+        matrix = rng.integers(0, 1000, size=(5, 8))
+        weights = [2, 3, 1, 5, 4]
+        s = cs.secret_point(0x4000, 1)
+        tags = cs.matrix_tags(matrix, 0x4000, 1)
+        combined_tag = field.dot(weights, tags)
+        combined_row = (np.array(weights)[:, None] * matrix).sum(axis=0)
+        assert cs.result_tag([int(x) for x in combined_row], s) == combined_tag
+
+    def test_tag_detects_any_single_element_change(self, setup):
+        cipher, params = setup
+        cs = LinearChecksum(cipher, params)
+        s = cs.secret_point(0x4000, 0)
+        row = [1, 2, 3, 4]
+        base = cs.row_tag(row, s)
+        for j in range(4):
+            tampered = list(row)
+            tampered[j] += 1
+            assert cs.row_tag(tampered, s) != base
+
+
+class TestMultiPointChecksum:
+    def test_small_field_uses_multiple_points(self, setup):
+        cipher, _ = setup
+        params = SecNDPParams(element_bits=32, tag_modulus=(1 << 31) - 1)
+        mp = MultiPointChecksum(cipher, params)
+        assert mp.cnt_s == 4
+        points = mp.secret_points(0x1000, 0)
+        assert len(points) == 4
+        assert len(set(points)) > 1  # distinct substrings
+
+    def test_default_field_single_point(self, setup):
+        cipher, params = setup
+        mp = MultiPointChecksum(cipher, params)
+        assert mp.cnt_s == 1
+
+    def test_linearity(self, setup):
+        cipher, _ = setup
+        params = SecNDPParams(element_bits=32, tag_modulus=(1 << 31) - 1)
+        mp = MultiPointChecksum(cipher, params)
+        field = params.field()
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 1000, size=(4, 6))
+        weights = [1, 2, 3, 4]
+        points = mp.secret_points(0x2000, 5)
+        tags = mp.matrix_tags(matrix, 0x2000, 5)
+        combined_tag = field.dot(weights, tags)
+        combined_row = (np.array(weights)[:, None] * matrix).sum(axis=0)
+        assert mp.result_tag([int(x) for x in combined_row], points) == combined_tag
+
+    def test_detects_tampering(self, setup):
+        cipher, _ = setup
+        params = SecNDPParams(element_bits=32, tag_modulus=(1 << 31) - 1)
+        mp = MultiPointChecksum(cipher, params)
+        points = mp.secret_points(0x2000, 0)
+        assert mp.row_tag([1, 2, 3], points) != mp.row_tag([1, 2, 4], points)
+
+
+class TestEncryptedMac:
+    def test_tag_roundtrip(self, setup):
+        cipher, params = setup
+        mac = EncryptedLinearMac(cipher, params)
+        tag = 123456789
+        c = mac.encrypt_tag(tag, 0x3000, 2)
+        assert mac.decrypt_tag(c, 0x3000, 2) == tag
+
+    def test_tag_pad_depends_on_row_addr(self, setup):
+        cipher, params = setup
+        mac = EncryptedLinearMac(cipher, params)
+        assert mac.tag_pad(0x3000, 0) != mac.tag_pad(0x3080, 0)
+
+    def test_attach_tags(self, setup):
+        cipher, params = setup
+        enc = ArithmeticEncryptor(cipher, params)
+        mac = EncryptedLinearMac(cipher, params)
+        rng = np.random.default_rng(4)
+        pt = rng.integers(0, 1000, size=(6, 8), dtype=np.uint64).astype(np.uint32)
+        e = enc.encrypt(pt, 0x5000, version=0)
+        mac.attach_tags(e, pt, checksum_version=1, tag_version=2)
+        assert len(e.tags) == 6
+        # Decrypting each tag must give the row checksum.
+        s = mac.checksum.secret_point(0x5000, 1)
+        for i in range(6):
+            tag = mac.decrypt_tag(e.tags[i], e.row_addr(i), 2)
+            assert tag == mac.checksum.row_tag(pt[i], s)
+
+    def test_attach_tags_shape_mismatch(self, setup):
+        cipher, params = setup
+        enc = ArithmeticEncryptor(cipher, params)
+        mac = EncryptedLinearMac(cipher, params)
+        e = enc.encrypt(np.zeros((4, 8), dtype=np.uint32), 0x5000, 0)
+        with pytest.raises(ValueError):
+            mac.attach_tags(e, np.zeros((3, 8), dtype=np.uint32), 0, 0)
+
+    def test_tag_pads_require_tags(self, setup):
+        cipher, params = setup
+        enc = ArithmeticEncryptor(cipher, params)
+        mac = EncryptedLinearMac(cipher, params)
+        e = enc.encrypt(np.zeros((4, 8), dtype=np.uint32), 0x5000, 0)
+        with pytest.raises(ValueError):
+            mac.tag_pads_for_rows(e, [0])
+
+    def test_encrypted_tags_hide_checksums(self, setup):
+        """Identical rows at different addresses get different C_T."""
+        cipher, params = setup
+        enc = ArithmeticEncryptor(cipher, params)
+        mac = EncryptedLinearMac(cipher, params)
+        pt = np.tile(np.arange(8, dtype=np.uint32), (4, 1))  # identical rows
+        e = enc.encrypt(pt, 0x5000, version=0)
+        mac.attach_tags(e, pt, checksum_version=0, tag_version=0)
+        assert len(set(e.tags)) == 4  # same T_i, different pads

@@ -1,0 +1,80 @@
+"""CLI and text-rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.harness.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        out = render_table(
+            ["name", "value"], [["a", 1.2345], ["longer", 2]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.23" in out  # float formatting
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_first_column_left_aligned(self):
+        out = render_table(["k", "v"], [["x", 1], ["yy", 2]])
+        data_lines = out.splitlines()[2:]
+        assert data_lines[0].startswith("x ")
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        out = render_series(
+            "x", [1, 2, 3], {"s1": [0.1, 0.2, 0.3], "s2": [1, 2, 3]}
+        )
+        assert "s1" in out and "s2" in out
+        assert "0.10" in out
+
+    def test_custom_format(self):
+        out = render_series("x", [1], {"s": [0.5]}, fmt="{:.0%}")
+        assert "50%" in out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table5", "--scale", "galactic"])
+
+    def test_runs_table5_smoke(self, capsys):
+        assert main(["table5", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "finished in" in out
+
+    def test_runs_fig9_smoke(self, capsys):
+        assert main(["fig9", "--scale", "smoke"]) == 0
+        assert "ver_sep" in capsys.readouterr().out
+
+    def test_every_experiment_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table3",
+            "table4",
+            "table5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+        }

@@ -1,0 +1,128 @@
+"""DLRM configs (Table I) and the functional model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import RMC_CONFIGS, DlrmConfig, DlrmModel, click_dataset
+
+
+class TestTableI:
+    def test_all_four_configs_present(self):
+        assert set(RMC_CONFIGS) == {
+            "RMC1-small",
+            "RMC1-large",
+            "RMC2-small",
+            "RMC2-large",
+        }
+
+    def test_table_counts(self):
+        assert RMC_CONFIGS["RMC1-small"].n_tables == 8
+        assert RMC_CONFIGS["RMC1-large"].n_tables == 12
+        assert RMC_CONFIGS["RMC2-small"].n_tables == 24
+        assert RMC_CONFIGS["RMC2-large"].n_tables == 64
+
+    def test_mlp_chains(self):
+        assert RMC_CONFIGS["RMC1-small"].bottom_mlp == (256, 128, 32)
+        assert RMC_CONFIGS["RMC1-small"].top_mlp == (256, 64, 1)
+        assert RMC_CONFIGS["RMC2-large"].top_mlp == (256, 128, 1)
+
+    def test_total_sizes_match_paper(self):
+        assert RMC_CONFIGS["RMC1-small"].total_embedding_bytes == 1 << 30
+        assert RMC_CONFIGS["RMC1-large"].total_embedding_bytes == pytest.approx(
+            1.5 * (1 << 30), rel=1e-6
+        )
+        assert RMC_CONFIGS["RMC2-small"].total_embedding_bytes == 3 << 30
+        assert RMC_CONFIGS["RMC2-large"].total_embedding_bytes == 8 << 30
+
+    def test_embedding_dim_is_32(self):
+        assert all(c.embedding_dim == 32 for c in RMC_CONFIGS.values())
+
+    def test_scaled_preserves_architecture(self):
+        small = RMC_CONFIGS["RMC2-large"].scaled(1000)
+        assert small.rows_per_table == 1000
+        assert small.n_tables == 64
+        assert small.top_mlp == (256, 128, 1)
+
+    def test_flops_grow_with_tables(self):
+        flops = [RMC_CONFIGS[n].mlp_flops_per_sample() for n in RMC_CONFIGS]
+        assert flops == sorted(flops)
+
+
+class TestConfigValidation:
+    def test_top_must_end_in_one(self):
+        with pytest.raises(ConfigurationError):
+            DlrmConfig("x", (16, 8), (16, 2), 1, 10, embedding_dim=8)
+
+    def test_bottom_output_must_match_embedding(self):
+        with pytest.raises(ConfigurationError):
+            DlrmConfig("x", (16, 9), (16, 1), 1, 10, embedding_dim=8)
+
+    def test_chains_need_two_entries(self):
+        with pytest.raises(ConfigurationError):
+            DlrmConfig("x", (8,), (16, 1), 1, 10, embedding_dim=8)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    config = DlrmConfig(
+        "tiny", (8, 16, 4), (16, 8, 1), n_tables=2, rows_per_table=32,
+        embedding_dim=4,
+    )
+    return DlrmModel(config, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return click_dataset(64, n_tables=2, rows_per_table=32, dense_dim=8, seed=0)
+
+
+class TestModel:
+    def test_forward_shape_and_range(self, tiny_model, tiny_data):
+        pred = tiny_model.forward(tiny_data.dense, tiny_data.sparse_rows)
+        assert pred.shape == (64,)
+        assert np.all((pred > 0) & (pred < 1))
+
+    def test_pooled_override_changes_output(self, tiny_model, tiny_data):
+        base = tiny_model.forward(tiny_data.dense, tiny_data.sparse_rows)
+        pooled = tiny_model.pooled_embeddings(tiny_data.sparse_rows)
+        shifted = tiny_model.forward(
+            tiny_data.dense, tiny_data.sparse_rows, pooled_override=pooled + 1.0
+        )
+        assert not np.allclose(base, shifted)
+
+    def test_pooled_override_identity(self, tiny_model, tiny_data):
+        pooled = tiny_model.pooled_embeddings(tiny_data.sparse_rows)
+        a = tiny_model.forward(tiny_data.dense, tiny_data.sparse_rows)
+        b = tiny_model.forward(
+            tiny_data.dense, tiny_data.sparse_rows, pooled_override=pooled
+        )
+        assert np.allclose(a, b)
+
+    def test_weighted_pooling(self, tiny_model, tiny_data):
+        weights = [
+            [[2.0] * len(rows) for rows in per] for per in tiny_data.sparse_rows
+        ]
+        unweighted = tiny_model.pooled_embeddings(tiny_data.sparse_rows)
+        weighted = tiny_model.pooled_embeddings(tiny_data.sparse_rows, weights)
+        assert np.allclose(weighted, 2.0 * unweighted)
+
+    def test_training_reduces_loss(self):
+        config = DlrmConfig(
+            "train-test", (8, 16, 4), (16, 8, 1), 2, 32, embedding_dim=4
+        )
+        model = DlrmModel(config, seed=1)
+        data = click_dataset(512, 2, 32, dense_dim=8, seed=1)
+        before = model.logloss(data.dense, data.sparse_rows, data.labels)
+        model.train(data.dense, data.sparse_rows, data.labels, epochs=5, lr=0.1)
+        after = model.logloss(data.dense, data.sparse_rows, data.labels)
+        assert after < before
+
+    def test_logloss_of_perfect_prediction_is_small(self, tiny_model, tiny_data):
+        pred = tiny_model.forward(tiny_data.dense, tiny_data.sparse_rows)
+        labels = (pred > 0.5).astype(np.float64)
+        ll = tiny_model.logloss(tiny_data.dense, tiny_data.sparse_rows, labels)
+        anti = tiny_model.logloss(tiny_data.dense, tiny_data.sparse_rows, 1 - labels)
+        assert ll < anti

@@ -1,0 +1,132 @@
+"""Functional SecNDP engine and OTP PU (Sec. V-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SecNDPEngine, SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.core.engine import OtpPu
+from repro.errors import ConfigurationError, VerificationError
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture
+def engine(processor):
+    return SecNDPEngine(processor.encryptor, processor.mac, n_registers=4)
+
+
+class TestOtpPu:
+    def test_register_bounds(self, params32):
+        pu = OtpPu(params32, n_registers=2)
+        with pytest.raises(ConfigurationError):
+            pu.clear(2)
+        with pytest.raises(ConfigurationError):
+            pu.read(-1)
+
+    def test_needs_at_least_one_register(self, params32):
+        with pytest.raises(ConfigurationError):
+            OtpPu(params32, n_registers=0)
+
+    def test_read_before_accumulate_raises(self, params32):
+        pu = OtpPu(params32)
+        with pytest.raises(ConfigurationError):
+            pu.read(0)
+
+    def test_accumulate(self, params32):
+        pu = OtpPu(params32)
+        pads = np.array([1, 2, 3], dtype=np.uint32)
+        pu.accumulate(0, 2, pads)
+        pu.accumulate(0, 3, pads)
+        assert list(pu.read(0)) == [5, 10, 15]
+
+    def test_registers_independent(self, params32):
+        pu = OtpPu(params32, n_registers=2)
+        pu.accumulate(0, 1, np.array([1], dtype=np.uint32))
+        pu.accumulate(1, 1, np.array([9], dtype=np.uint32))
+        assert int(pu.read(0)[0]) == 1
+        assert int(pu.read(1)[0]) == 9
+
+    def test_tag_accumulate(self, params32):
+        pu = OtpPu(params32)
+        pu.accumulate_tag(0, 2, 10)
+        pu.accumulate_tag(0, 3, 100)
+        assert pu.read_tag(0) == 320
+
+    def test_clear(self, params32):
+        pu = OtpPu(params32)
+        pu.accumulate(0, 1, np.array([1], dtype=np.uint32))
+        pu.accumulate_tag(0, 1, 5)
+        pu.clear(0)
+        assert pu.read_tag(0) == 0
+        with pytest.raises(ConfigurationError):
+            pu.read(0)
+
+
+class TestEngineFlow:
+    def test_matches_protocol_result(
+        self, processor, device, stored, small_matrix, engine
+    ):
+        rows = [3, 9, 21]
+        weights = [2, 1, 3]
+        enc = device.stored(stored)
+        engine.begin_query(1)
+        for r, w in zip(rows, weights):
+            engine.issue(1, enc, r, w)
+        w_ring = processor.ring.encode(np.asarray(weights))
+        ndp_res = device.weighted_row_sum(stored, rows, w_ring)
+        ndp_tag = device.weighted_tag_sum(stored, rows, [int(w) for w in w_ring])
+        out = engine.load_and_verify(1, enc, ndp_res, ndp_tag)
+        expected = (
+            np.asarray(weights)[:, None] * small_matrix[rows].astype(np.int64)
+        ).sum(axis=0) % (1 << 32)
+        assert np.array_equal(out.astype(np.int64), expected)
+
+    def test_load_without_tag_skips_verification(
+        self, processor, device, stored, engine
+    ):
+        enc = device.stored(stored)
+        engine.begin_query(0)
+        engine.issue(0, enc, 0, 1)
+        ndp_res = device.weighted_row_sum(stored, [0], np.array([1], dtype=np.uint32))
+        out = engine.load_and_verify(0, enc, ndp_res, ndp_tag=None)
+        assert out.shape == (32,)
+
+    def test_bad_ndp_tag_raises(self, processor, device, stored, engine):
+        enc = device.stored(stored)
+        engine.begin_query(0)
+        engine.issue(0, enc, 0, 1)
+        ndp_res = device.weighted_row_sum(stored, [0], np.array([1], dtype=np.uint32))
+        good_tag = device.weighted_tag_sum(stored, [0], [1])
+        with pytest.raises(VerificationError):
+            engine.load_and_verify(0, enc, ndp_res, (good_tag + 1) % ((1 << 127) - 1))
+
+    def test_bad_ndp_result_raises(self, processor, device, stored, engine):
+        enc = device.stored(stored)
+        engine.begin_query(0)
+        engine.issue(0, enc, 0, 1)
+        ndp_res = device.weighted_row_sum(
+            stored, [0], np.array([1], dtype=np.uint32)
+        ).copy()
+        ndp_res[3] += 1
+        tag = device.weighted_tag_sum(stored, [0], [1])
+        with pytest.raises(VerificationError):
+            engine.load_and_verify(0, enc, ndp_res, tag)
+
+    def test_interleaved_queries_on_different_registers(
+        self, processor, device, stored, small_matrix, engine
+    ):
+        enc = device.stored(stored)
+        engine.begin_query(0)
+        engine.begin_query(1)
+        engine.issue(0, enc, 2, 1)
+        engine.issue(1, enc, 4, 1)
+        engine.issue(0, enc, 6, 1)
+        r0 = device.weighted_row_sum(stored, [2, 6], np.array([1, 1], dtype=np.uint32))
+        r1 = device.weighted_row_sum(stored, [4], np.array([1], dtype=np.uint32))
+        out0 = engine.load_and_verify(0, enc, r0)
+        out1 = engine.load_and_verify(1, enc, r1)
+        exp0 = (small_matrix[2].astype(np.int64) + small_matrix[6]) % (1 << 32)
+        assert np.array_equal(out0.astype(np.int64), exp0)
+        assert np.array_equal(out1, small_matrix[4])

@@ -1,0 +1,101 @@
+"""Instruction-level executor: ISA-faithful execution vs protocol layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import ConfigurationError, VerificationError
+from repro.ndp.executor import SecNdpExecutor
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture
+def executor():
+    processor = SecNDPProcessor(KEY, SecNDPParams(element_bits=32))
+    return SecNdpExecutor(processor, n_ranks=4, n_registers=4)
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(8)
+    return rng.integers(0, 500, size=(64, 8), dtype=np.uint64).astype(np.uint32)
+
+
+class TestArithEnc:
+    def test_shards_cover_all_rows(self, executor, matrix):
+        region = executor.arith_enc("t", matrix, 0x1000)
+        for rank in range(4):
+            shard = executor.dimm._shards[rank]
+            rows = list(range(rank, 64, 4))
+            expected = region.encrypted.ciphertext[rows].reshape(-1)
+            assert np.array_equal(shard, expected)
+
+    def test_duplicate_region_rejected(self, executor, matrix):
+        executor.arith_enc("t", matrix, 0x1000)
+        with pytest.raises(ConfigurationError):
+            executor.arith_enc("t", matrix, 0x2000)
+
+
+class TestWeightedSum:
+    def test_matches_plaintext(self, executor, matrix):
+        executor.arith_enc("t", matrix, 0x1000)
+        rows = [0, 5, 13, 22, 63]
+        weights = [1, 2, 1, 3, 1]
+        out = executor.weighted_sum("t", rows, weights)
+        expected = (
+            np.array(weights)[:, None] * matrix[rows].astype(np.int64)
+        ).sum(axis=0) % (1 << 32)
+        assert np.array_equal(out.astype(np.int64), expected)
+
+    def test_matches_protocol_layer(self, executor, matrix):
+        """The ISA path and the direct protocol path agree bit-for-bit."""
+        executor.arith_enc("t", matrix, 0x1000)
+        rows = [3, 17, 42]
+        weights = [2, 2, 1]
+        isa_out = executor.weighted_sum("t", rows, weights)
+
+        proc = executor.processor
+        device = UntrustedNdpDevice(proc.params)
+        device.store("t", executor._regions["t"].encrypted)
+        proto_out = device_sum = proc.weighted_row_sum(
+            device, "t", rows, weights, verify=True
+        ).values
+        assert np.array_equal(isa_out, proto_out)
+
+    def test_instruction_count(self, executor, matrix):
+        executor.arith_enc("t", matrix, 0x1000)
+        executor.weighted_sum("t", [0, 1, 2], [1, 1, 1])
+        assert executor.instructions_executed == 3
+
+    def test_rows_on_every_rank(self, executor, matrix):
+        executor.arith_enc("t", matrix, 0x1000)
+        # rows 0..3 land on ranks 0..3
+        out = executor.weighted_sum("t", [0, 1, 2, 3], [1, 1, 1, 1])
+        expected = matrix[:4].astype(np.int64).sum(axis=0) % (1 << 32)
+        assert np.array_equal(out.astype(np.int64), expected)
+
+    def test_tampered_shard_detected(self, executor, matrix):
+        executor.arith_enc("t", matrix, 0x1000)
+        executor.dimm._shards[1][0] += 1  # flip ciphertext in rank 1's shard
+        with pytest.raises(VerificationError):
+            executor.weighted_sum("t", [1, 5], [1, 1])  # rows on rank 1
+
+    def test_unverified_mode(self, executor, matrix):
+        executor.arith_enc("u", matrix, 0x8000, with_tags=False)
+        out = executor.weighted_sum("u", [2, 6], [1, 1], verify=False)
+        expected = (matrix[2].astype(np.int64) + matrix[6]) % (1 << 32)
+        assert np.array_equal(out.astype(np.int64), expected)
+
+    def test_verify_without_tags_rejected(self, executor, matrix):
+        executor.arith_enc("u", matrix, 0x8000, with_tags=False)
+        with pytest.raises(VerificationError):
+            executor.weighted_sum("u", [0], [1], verify=True)
+
+    def test_sequential_queries_reuse_registers(self, executor, matrix):
+        executor.arith_enc("t", matrix, 0x1000)
+        a = executor.weighted_sum("t", [0, 4], [1, 1], reg=0)
+        b = executor.weighted_sum("t", [0, 4], [1, 1], reg=0)
+        assert np.array_equal(a, b)

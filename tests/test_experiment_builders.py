@@ -1,0 +1,79 @@
+"""Experiment-harness builders: trace kinds, scaling, and config routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import SMOKE_SCALE
+from repro.harness.experiments.common import (
+    build_analytics_workload,
+    build_sls_workload,
+    run_baseline,
+    run_ndp,
+    scaled_config,
+)
+from repro.ndp import TagScheme
+
+
+class TestScaledConfig:
+    def test_shrinks_rows_only(self):
+        config = scaled_config("RMC2-large", SMOKE_SCALE)
+        assert config.rows_per_table == SMOKE_SCALE.rows_per_table
+        assert config.n_tables == 64  # architecture untouched
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            scaled_config("RMC9-huge", SMOKE_SCALE)
+
+
+class TestBuildSls:
+    def test_random_kind_fixed_pf(self):
+        config = scaled_config("RMC1-small", SMOKE_SCALE)
+        wl = build_sls_workload(config, SMOKE_SCALE, trace_kind="random")
+        assert all(
+            q.pooling_factor == SMOKE_SCALE.pooling_factor for q in wl.queries
+        )
+
+    def test_production_kind_varies_pf(self):
+        config = scaled_config("RMC1-small", SMOKE_SCALE)
+        wl = build_sls_workload(config, SMOKE_SCALE, trace_kind="production")
+        pfs = {q.pooling_factor for q in wl.queries}
+        assert len(pfs) > 1
+        lo = max(1, SMOKE_SCALE.pooling_factor * 5 // 8)
+        hi = SMOKE_SCALE.pooling_factor * 5 // 4
+        assert all(lo <= pf <= hi for pf in pfs)
+
+    def test_unknown_kind_rejected(self):
+        config = scaled_config("RMC1-small", SMOKE_SCALE)
+        with pytest.raises(ValueError):
+            build_sls_workload(config, SMOKE_SCALE, trace_kind="zipfian")
+
+    def test_queries_count(self):
+        config = scaled_config("RMC1-small", SMOKE_SCALE)
+        wl = build_sls_workload(config, SMOKE_SCALE)
+        assert len(wl.queries) == SMOKE_SCALE.batch * config.n_tables
+
+
+class TestBuildAnalytics:
+    def test_geometry_from_scale(self):
+        wl = build_analytics_workload(SMOKE_SCALE)
+        geo = wl.tables[0]
+        assert geo.n_rows == SMOKE_SCALE.analytics_patients
+        assert geo.row_bytes == SMOKE_SCALE.analytics_genes * 4
+        assert len(wl.queries) == SMOKE_SCALE.analytics_queries
+
+
+class TestRunners:
+    def test_run_ndp_respects_scheme(self):
+        config = scaled_config("RMC1-small", SMOKE_SCALE)
+        wl = build_sls_workload(config, SMOKE_SCALE)
+        enc = run_ndp(wl, tag_scheme=TagScheme.ENC_ONLY)
+        sep = run_ndp(wl, tag_scheme=TagScheme.VER_SEP)
+        assert sep.total_lines > enc.total_lines
+
+    def test_run_baseline_deterministic_per_seed(self):
+        config = scaled_config("RMC1-small", SMOKE_SCALE)
+        wl = build_sls_workload(config, SMOKE_SCALE)
+        assert run_baseline(wl, page_seed=2).total_ns == run_baseline(
+            wl, page_seed=2
+        ).total_ns

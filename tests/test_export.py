@@ -1,0 +1,59 @@
+"""JSON export of experiment results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import SMOKE_SCALE
+from repro.harness.experiments import run_figure9, run_table5
+from repro.harness.export import export_results, to_jsonable
+from repro.ndp import TagScheme
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        assert to_jsonable(1) == 1
+        assert to_jsonable(1.5) == 1.5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_tuple_keys_flattened(self):
+        assert to_jsonable({(8, 8): 1.0}) == {"8/8": 1.0}
+
+    def test_enums_to_values(self):
+        assert to_jsonable(TagScheme.VER_ECC) == "ver_ecc"
+
+    def test_numpy_scalars(self):
+        import numpy as np
+
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.int32(7)) == 7
+
+    def test_nested_structures(self):
+        data = {"a": [(1, 2), {"b": None}]}
+        assert to_jsonable(data) == {"a": [[1, 2], {"b": None}]}
+
+
+class TestExportBundle:
+    def test_experiment_results_serialise(self, tmp_path):
+        results = {
+            "table5": run_table5(SMOKE_SCALE, measure_traffic=False),
+            "figure9": run_figure9(SMOKE_SCALE),
+        }
+        path = export_results(results, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert payload["meta"]["version"]
+        assert "table5" in payload["results"]
+        norm = payload["results"]["table5"]["normalized"]
+        assert norm["unprotected non-NDP"] == pytest.approx(100.0)
+        fig9 = payload["results"]["figure9"]["speedups"]
+        assert fig9["SLS 8-bit quantized"]["ver_ecc"] is None
+
+    def test_file_is_stable_json(self, tmp_path):
+        res = {"table5": run_table5(SMOKE_SCALE, measure_traffic=False)}
+        a = export_results(res, tmp_path / "a.json").read_text()
+        b = export_results(res, tmp_path / "b.json").read_text()
+        assert a == b

@@ -1,0 +1,125 @@
+"""Cross-module integration: full secure-inference and analytics paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SecNDPParams,
+    SecNDPProcessor,
+    UntrustedNdpDevice,
+    deserialize_matrix,
+    serialize_matrix,
+)
+from repro.workloads import (
+    DlrmConfig,
+    DlrmModel,
+    SecureEmbeddingStore,
+    click_dataset,
+)
+
+KEY = b"integration-key!"
+
+
+@pytest.fixture(scope="module")
+def secure_dlrm():
+    """A small DLRM whose embedding path runs through SecNDP."""
+    config = DlrmConfig(
+        "it", (8, 16, 4), (16, 8, 1), n_tables=3, rows_per_table=64,
+        embedding_dim=4,
+    )
+    model = DlrmModel(config, seed=2)
+    data = click_dataset(16, 3, 64, dense_dim=8, seed=2)
+
+    params = SecNDPParams(element_bits=32)
+    processor = SecNDPProcessor(KEY, params)
+    device = UntrustedNdpDevice(params)
+    store = SecureEmbeddingStore(processor, device, quantization="column")
+    for t, table in enumerate(model.tables):
+        store.add_table(f"t{t}", table.values)
+    return model, data, store
+
+
+class TestSecureDlrmInference:
+    def _pooled_secure(self, model, data, store):
+        cfg = model.config
+        pooled = np.zeros((data.n_samples, cfg.n_tables, cfg.embedding_dim))
+        for s, per_table in enumerate(data.sparse_rows):
+            for t, rows in enumerate(per_table):
+                pooled[s, t] = store.sls(f"t{t}", rows)
+        return pooled
+
+    def test_predictions_match_quantized_plaintext(self, secure_dlrm):
+        model, data, store = secure_dlrm
+        pooled_secure = self._pooled_secure(model, data, store)
+
+        pooled_plain = np.zeros_like(pooled_secure)
+        for s, per_table in enumerate(data.sparse_rows):
+            for t, rows in enumerate(per_table):
+                dq = store.dequantized_table(f"t{t}")
+                pooled_plain[s, t] = dq[rows].sum(axis=0)
+
+        pred_secure = model.forward(
+            data.dense, data.sparse_rows, pooled_override=pooled_secure
+        )
+        pred_plain = model.forward(
+            data.dense, data.sparse_rows, pooled_override=pooled_plain
+        )
+        assert np.allclose(pred_secure, pred_plain)
+
+    def test_predictions_close_to_fp32(self, secure_dlrm):
+        model, data, store = secure_dlrm
+        pooled_secure = self._pooled_secure(model, data, store)
+        pred_secure = model.forward(
+            data.dense, data.sparse_rows, pooled_override=pooled_secure
+        )
+        pred_fp32 = model.forward(data.dense, data.sparse_rows)
+        # 8-bit quantization moves predictions only slightly.
+        assert np.max(np.abs(pred_secure - pred_fp32)) < 0.15
+
+
+class TestPersistenceRoundTrip:
+    def test_offload_resume_on_second_device(self, processor, small_matrix):
+        """Encrypt on one 'host', serialize, resume serving on another
+        untrusted device - decryption and verification need only the key."""
+        enc = processor.encrypt_matrix(small_matrix, 0x7000, "mv", with_tags=True)
+        blob = serialize_matrix(enc)
+
+        other_device = UntrustedNdpDevice(processor.params)
+        other_device.store("mv", deserialize_matrix(blob, processor.params))
+        res = processor.weighted_row_sum(other_device, "mv", [2, 4], [3, 1])
+        expected = (
+            3 * small_matrix[2].astype(np.int64) + small_matrix[4]
+        ) % (1 << 32)
+        assert np.array_equal(res.values.astype(np.int64), expected)
+
+
+class TestMultiTenant:
+    def test_two_processors_cannot_cross_verify(self, small_matrix):
+        """Two enclaves with different keys sharing one NDP device stay
+        cryptographically isolated."""
+        params = SecNDPParams(element_bits=32)
+        alice = SecNDPProcessor(b"alice-key-000000", params)
+        bob = SecNDPProcessor(b"bob-key-11111111", params)
+        device = UntrustedNdpDevice(params)
+
+        enc_a = alice.encrypt_matrix(small_matrix, 0x1000, "a", with_tags=True)
+        device.store("a", enc_a)
+
+        res_a = alice.weighted_row_sum(device, "a", [0, 1], [1, 1])
+        expected = (
+            small_matrix[0].astype(np.int64) + small_matrix[1]
+        ) % (1 << 32)
+        assert np.array_equal(res_a.values.astype(np.int64), expected)
+
+        # Bob cannot decrypt Alice's data (wrong pads) ...
+        assert not np.array_equal(bob.decrypt_matrix(enc_a), small_matrix)
+        # ... and Bob's verification of Alice's region fails.
+        bob.versions.fresh("a/data")
+        bob.versions.fresh("a/checksum")
+        bob.versions.fresh("a/tag")
+        from repro.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            bob.weighted_row_sum(device, "a", [0, 1], [1, 1])

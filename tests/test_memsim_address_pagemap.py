@@ -1,0 +1,131 @@
+"""Address decoding and OS page mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import (
+    PAGE_BYTES,
+    AddressMapper,
+    DramGeometry,
+    PageMapper,
+    RankAddressMapper,
+)
+
+
+class TestAddressMapper:
+    def setup_method(self):
+        self.geo = DramGeometry()
+        self.mapper = AddressMapper(self.geo)
+
+    def test_consecutive_lines_walk_channel_then_column(self):
+        a = self.mapper.decode(0)
+        b = self.mapper.decode(64)
+        assert (a.channel, a.column) == (0, 0)
+        # Single channel: next line is the next column.
+        assert b.column == 1
+        assert b.rank == a.rank
+
+    def test_line_offset_ignored(self):
+        assert self.mapper.decode(0) == self.mapper.decode(63)
+
+    def test_rank_interleaving_after_row_span(self):
+        # After columns_per_row lines, the rank advances.
+        line_span = self.geo.columns_per_row * self.geo.line_bytes
+        assert self.mapper.decode(line_span).rank == 1
+
+    def test_fields_in_range(self):
+        for addr in (0, 12345 * 64, (1 << 35) + 64):
+            d = self.mapper.decode(addr)
+            assert 0 <= d.rank < self.geo.ranks
+            assert 0 <= d.bank_group < self.geo.bank_groups
+            assert 0 <= d.bank < self.geo.banks_per_group
+            assert 0 <= d.row < self.geo.rows_per_bank
+            assert 0 <= d.column < self.geo.columns_per_row
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.mapper.decode(-1)
+
+    def test_distinct_addresses_distinct_coordinates(self):
+        seen = {self.mapper.decode(i * 64) for i in range(4096)}
+        assert len(seen) == 4096
+
+    def test_flat_bank(self):
+        d = self.mapper.decode(0)
+        assert d.flat_bank(self.geo.banks_per_group) == d.bank_group * 4 + d.bank
+
+
+class TestRankAddressMapper:
+    def setup_method(self):
+        self.geo = DramGeometry()
+        self.mapper = RankAddressMapper(self.geo)
+
+    def test_rank_is_explicit(self):
+        d = self.mapper.decode(3, 0)
+        assert d.rank == 3
+
+    def test_bank_group_interleaves_before_bank(self):
+        # Lines within a row share coordinates; crossing a row boundary
+        # moves to the next bank group first.
+        row_span = self.geo.columns_per_row * self.geo.line_bytes
+        a = self.mapper.decode(0, 0)
+        b = self.mapper.decode(0, row_span)
+        assert b.bank_group == (a.bank_group + 1) % self.geo.bank_groups
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.mapper.decode(8, 0)
+
+
+class TestPageMapper:
+    def test_stable_translation(self):
+        pm = PageMapper(1 << 30, seed=1)
+        assert pm.translate(0x1234) == pm.translate(0x1234)
+
+    def test_offset_preserved(self):
+        pm = PageMapper(1 << 30, seed=1)
+        base = pm.translate(0)
+        assert pm.translate(17) == base + 17
+
+    def test_different_pages_different_frames(self):
+        pm = PageMapper(1 << 30, seed=1)
+        frames = {pm.translate(i * PAGE_BYTES) // PAGE_BYTES for i in range(1000)}
+        assert len(frames) == 1000
+
+    def test_randomised_not_identity(self):
+        pm = PageMapper(1 << 30, seed=1)
+        translated = [pm.translate(i * PAGE_BYTES) for i in range(32)]
+        assert translated != [i * PAGE_BYTES for i in range(32)]
+
+    def test_identity_mode(self):
+        pm = PageMapper(1 << 30, identity=True)
+        assert pm.translate(0x123456) == 0x123456
+
+    def test_seed_determinism(self):
+        a = PageMapper(1 << 30, seed=7)
+        b = PageMapper(1 << 30, seed=7)
+        assert [a.translate(i * PAGE_BYTES) for i in range(64)] == [
+            b.translate(i * PAGE_BYTES) for i in range(64)
+        ]
+
+    def test_exhaustion(self):
+        pm = PageMapper(4 * PAGE_BYTES, seed=0)
+        for i in range(4):
+            pm.translate(i * PAGE_BYTES)
+        with pytest.raises(ConfigurationError):
+            pm.translate(99 * PAGE_BYTES)
+
+    def test_dense_pool_allocates_all_pages(self):
+        pm = PageMapper(64 * PAGE_BYTES, seed=0)
+        frames = {pm.translate(i * PAGE_BYTES) // PAGE_BYTES for i in range(64)}
+        assert frames == set(range(64))
+
+    def test_too_small_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageMapper(PAGE_BYTES - 1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageMapper(1 << 30).translate(-5)

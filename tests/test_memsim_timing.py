@@ -1,0 +1,58 @@
+"""DDR4 timing parameters and geometry (Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import DDR4_2400, DDR4_GEOMETRY, DDR4Timing, DramGeometry
+
+
+class TestTableII:
+    def test_paper_parameters(self):
+        t = DDR4_2400
+        assert t.tRC == 55
+        assert t.tRCD == 16
+        assert t.tCL == 16
+        assert t.tRP == 16
+        assert t.tBL == 4
+        assert t.tCCD_S == 4
+        assert t.tCCD_L == 6
+        assert t.tRRD_S == 4
+        assert t.tRRD_L == 6
+        assert t.tFAW == 26
+
+    def test_clock(self):
+        # DDR4-2400: 1200 MHz controller clock.
+        assert DDR4_2400.clock_mhz == 1200.0
+        assert abs(DDR4_2400.ns_per_cycle - 0.8333) < 1e-3
+        assert abs(DDR4_2400.cycles_to_ns(1200) - 1000.0) < 1e-6
+
+    def test_derived_latencies(self):
+        assert DDR4_2400.row_hit_latency == 20     # tCL + tBL
+        assert DDR4_2400.row_miss_latency == 52    # tRP + tRCD + tCL + tBL
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DDR4Timing(tRC=10, tRAS=39)
+        with pytest.raises(ConfigurationError):
+            DDR4Timing(tCL=0)
+
+
+class TestGeometry:
+    def test_rank_size_is_8gb(self):
+        # Table II: rank_size = 8 GB.
+        assert DDR4_GEOMETRY.rank_bytes == 8 << 30
+
+    def test_banks_per_rank(self):
+        assert DDR4_GEOMETRY.banks_per_rank == 16  # 4 groups x 4 banks
+
+    def test_row_bytes(self):
+        assert DDR4_GEOMETRY.row_bytes == 8192  # 8 KB row buffer
+
+    def test_total_capacity(self):
+        assert DDR4_GEOMETRY.total_bytes == 64 << 30  # 8 ranks x 8 GB
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(ranks=0)

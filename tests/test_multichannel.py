@@ -1,0 +1,54 @@
+"""Multi-channel DRAM scaling (beyond the paper's single-channel Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim import DDR4_2400, DramGeometry, DramSystem
+
+
+def stream(channels: int, n_lines: int = 2048) -> tuple:
+    system = DramSystem(
+        geometry=DramGeometry(channels=channels), identity_pages=True
+    )
+    end = system.stream_logical([i * 64 for i in range(n_lines)])
+    return system, end
+
+
+class TestChannelScaling:
+    def test_two_channels_roughly_double_bandwidth(self):
+        _, one = stream(1)
+        _, two = stream(2)
+        assert 1.7 < one / two < 2.6
+
+    def test_four_channels_scale_further(self):
+        _, two = stream(2)
+        _, four = stream(4)
+        assert four < two
+
+    def test_counters_aggregate_across_channels(self):
+        system, _ = stream(2)
+        assert system.counters.reads == 2048
+        assert system.counters.bus_bursts == 2048
+
+    def test_consecutive_lines_alternate_channels(self):
+        system = DramSystem(geometry=DramGeometry(channels=2), identity_pages=True)
+        a = system.mapper.decode(0)
+        b = system.mapper.decode(64)
+        assert {a.channel, b.channel} == {0, 1}
+
+    def test_elapsed_ns_covers_all_channels(self):
+        system, end = stream(2)
+        assert system.elapsed_ns() == pytest.approx(DDR4_2400.cycles_to_ns(end))
+
+    def test_single_channel_counters_alias(self):
+        system, _ = stream(1)
+        assert system.counters is system.controller.counters
+
+    def test_energy_includes_all_channels(self):
+        one_sys, _ = stream(1)
+        two_sys, _ = stream(2)
+        # Same traffic -> comparable core+IO energy regardless of channels.
+        e1 = one_sys.energy_nj()
+        e2 = two_sys.energy_nj()
+        assert e2["io_nj"] == pytest.approx(e1["io_nj"])

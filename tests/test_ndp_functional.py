@@ -1,0 +1,99 @@
+"""Functional NDP DIMM / PU execution vs. plain NumPy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto import RING32, F127
+from repro.errors import ConfigurationError
+from repro.ndp import NdpDimm, NdpInst, NdpLd, NdpOp, NdpPu
+
+
+@pytest.fixture
+def dimm():
+    d = NdpDimm(RING32, F127, n_ranks=2, n_registers=4)
+    rng = np.random.default_rng(0)
+    for rank in range(2):
+        d.load_shard(rank, rng.integers(0, 1000, size=256, dtype=np.uint64).astype(np.uint32))
+    return d
+
+
+class TestNdpPu:
+    def test_mac_accumulates(self):
+        pu = NdpPu(RING32, F127, n_registers=2)
+        pu.mac(0, 2, np.array([1, 2, 3], dtype=np.uint32))
+        pu.mac(0, 1, np.array([10, 20, 30], dtype=np.uint32))
+        assert list(pu.load(0)) == [12, 24, 36]
+        assert pu.macs_executed == 2
+
+    def test_tag_mac(self):
+        pu = NdpPu(RING32, F127)
+        pu.mac_tag(0, 3, 7)
+        pu.mac_tag(0, 1, 100)
+        assert pu.load_tag(0) == 121
+
+    def test_register_validation(self):
+        pu = NdpPu(RING32, F127, n_registers=1)
+        with pytest.raises(ConfigurationError):
+            pu.mac(1, 1, np.zeros(1, dtype=np.uint32))
+        with pytest.raises(ConfigurationError):
+            pu.load(0)
+        with pytest.raises(ConfigurationError):
+            NdpPu(RING32, F127, n_registers=0)
+
+    def test_clear(self):
+        pu = NdpPu(RING32, F127)
+        pu.mac(0, 1, np.array([5], dtype=np.uint32))
+        pu.clear(0)
+        with pytest.raises(ConfigurationError):
+            pu.load(0)
+
+
+class TestNdpDimm:
+    def test_mac_command_matches_numpy(self, dimm):
+        shard = dimm._shards[0]
+        inst1 = NdpInst(paddr=0, op=NdpOp.MAC, vsize=8, dsize=32, imm=3, reg_id=0)
+        inst2 = NdpInst(paddr=8, op=NdpOp.MAC, vsize=8, dsize=32, imm=2, reg_id=0)
+        dimm.execute(0, inst1)
+        dimm.execute(0, inst2)
+        result = dimm.load(0, NdpLd(reg_id=0, vsize=8, dsize=32))
+        expected = (3 * shard[:8].astype(np.int64) + 2 * shard[8:16]) % (1 << 32)
+        assert np.array_equal(result.astype(np.int64), expected)
+
+    def test_copy_overwrites(self, dimm):
+        dimm.execute(0, NdpInst(0, NdpOp.MAC, 4, 32, 5, 1))
+        dimm.execute(0, NdpInst(4, NdpOp.COPY, 4, 32, 0, 1))
+        shard = dimm._shards[0]
+        assert np.array_equal(dimm.load(0, NdpLd(1, 4, 32)), shard[4:8])
+
+    def test_add_is_weight_one(self, dimm):
+        shard = dimm._shards[1]
+        dimm.execute(1, NdpInst(0, NdpOp.ADD, 4, 32, 99, 2))
+        assert np.array_equal(dimm.load(1, NdpLd(2, 4, 32)), shard[:4])
+
+    def test_ranks_isolated(self, dimm):
+        dimm.execute(0, NdpInst(0, NdpOp.MAC, 4, 32, 1, 0))
+        with pytest.raises(ConfigurationError):
+            dimm.load(1, NdpLd(0, 4, 32))  # rank 1's register untouched
+
+    def test_out_of_bounds_read_rejected(self, dimm):
+        with pytest.raises(ConfigurationError):
+            dimm.execute(0, NdpInst(250, NdpOp.MAC, 16, 32, 1, 0))
+
+    def test_invalid_rank_rejected(self, dimm):
+        with pytest.raises(ConfigurationError):
+            dimm.execute(5, NdpInst(0, NdpOp.MAC, 4, 32, 1, 0))
+
+
+class TestCommandFormats:
+    def test_ndpinst_vector_bytes(self):
+        inst = NdpInst(0, NdpOp.MAC, vsize=32, dsize=32, imm=1, reg_id=0)
+        assert inst.vector_bytes == 128
+
+    def test_secndpinst_strips_to_plain_command(self):
+        from repro.ndp import SecNdpInst
+
+        inner = NdpInst(0x100, NdpOp.MAC, 32, 32, 7, 3)
+        sec = SecNdpInst(inner=inner, version=42, verify=True)
+        assert sec.to_ndp_command() == inner  # NDP sees no SecNDP fields

@@ -1,0 +1,127 @@
+"""NDP timing simulator: scaling laws and SecNDP composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ndp import (
+    AesEngineModel,
+    NdpConfig,
+    NdpSimulator,
+    NdpWorkload,
+    SimQuery,
+    TableGeometry,
+    TagScheme,
+)
+
+
+def make_workload(n_queries=16, pf=40, n_rows=50_000, row_bytes=128, seed=0):
+    rng = np.random.default_rng(seed)
+    tables = {0: TableGeometry(n_rows=n_rows, row_bytes=row_bytes, result_bytes=128)}
+    queries = tuple(
+        SimQuery(0, tuple(int(x) for x in rng.integers(0, n_rows, size=pf)))
+        for _ in range(n_queries)
+    )
+    return NdpWorkload(tables=tables, queries=queries)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload()
+
+
+@pytest.fixture(scope="module")
+def run8(workload):
+    return NdpSimulator(NdpConfig(ndp_ranks=8, ndp_regs=8)).run(workload)
+
+
+class TestScaling:
+    def test_more_ranks_faster(self, workload):
+        t1 = NdpSimulator(NdpConfig(1, 1)).run(workload).ndp_only_ns
+        t4 = NdpSimulator(NdpConfig(4, 4)).run(workload).ndp_only_ns
+        t8 = NdpSimulator(NdpConfig(8, 8)).run(workload).ndp_only_ns
+        assert t1 > t4 > t8
+
+    def test_rank_scaling_superlinear_bound(self, workload):
+        """8 ranks should give somewhere between 2x and 8x over 1 rank."""
+        t1 = NdpSimulator(NdpConfig(1, 1)).run(workload).ndp_only_ns
+        t8 = NdpSimulator(NdpConfig(8, 8)).run(workload).ndp_only_ns
+        assert 2.0 < t1 / t8 <= 8.5
+
+    def test_more_registers_not_slower(self, workload):
+        t1 = NdpSimulator(NdpConfig(8, 1)).run(workload).ndp_only_ns
+        t8 = NdpSimulator(NdpConfig(8, 8)).run(workload).ndp_only_ns
+        assert t8 <= t1 * 1.02
+
+    def test_rank_exceeding_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NdpSimulator(NdpConfig(ndp_ranks=16, ndp_regs=1))
+
+
+class TestSecNdpComposition:
+    def test_secndp_never_faster_than_ndp(self, run8):
+        for n in (1, 2, 4, 8, 16):
+            assert run8.secndp_ns(AesEngineModel(n)) >= run8.ndp_only_ns * 0.999
+
+    def test_secndp_converges_to_ndp(self, run8):
+        fast = run8.secndp_ns(AesEngineModel(64))
+        assert fast == pytest.approx(run8.ndp_only_ns)
+
+    def test_secndp_monotone_in_engines(self, run8):
+        times = [run8.secndp_ns(AesEngineModel(n)) for n in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_bottleneck_fraction_monotone(self, run8):
+        fracs = [run8.decryption_bound_fraction(AesEngineModel(n)) for n in (1, 4, 16)]
+        assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+        assert fracs[0] == 1.0  # one engine cannot keep up with 8 ranks
+        assert fracs[-1] == 0.0
+
+    def test_otp_blocks_counted(self, run8, workload):
+        total_rows = sum(len(q.rows) for q in workload.queries)
+        assert run8.total_otp_blocks == total_rows * 8  # 128 B rows = 8 blocks
+
+
+class TestVerificationTiming:
+    def test_ver_sep_slowest(self, workload):
+        def time_for(scheme):
+            run = NdpSimulator(NdpConfig(8, 8, tag_scheme=scheme)).run(workload)
+            return run.secndp_ns(AesEngineModel(12))
+
+        enc = time_for(TagScheme.ENC_ONLY)
+        coloc = time_for(TagScheme.VER_COLOC)
+        sep = time_for(TagScheme.VER_SEP)
+        ecc = time_for(TagScheme.VER_ECC)
+        assert ecc == pytest.approx(enc, rel=0.02)
+        assert enc < coloc < sep
+
+    def test_ver_sep_roughly_40pct_worse(self, workload):
+        """Paper: Ver-sep ~40% degradation over Enc-only."""
+        enc = NdpSimulator(NdpConfig(8, 8)).run(workload)
+        sep = NdpSimulator(
+            NdpConfig(8, 8, tag_scheme=TagScheme.VER_SEP)
+        ).run(workload)
+        aes = AesEngineModel(12)
+        ratio = sep.secndp_ns(aes) / enc.secndp_ns(aes)
+        assert 1.2 < ratio < 1.9
+
+
+class TestAccounting:
+    def test_records_per_packet(self, run8, workload):
+        assert len(run8.records) == -(-len(workload.queries) // 8)
+
+    def test_total_lines_match_packets(self, run8):
+        assert run8.total_lines == sum(r.lines for r in run8.records)
+
+    def test_energy_counters_populated(self, run8):
+        counters = run8.dram.counters
+        assert counters.reads == run8.total_lines
+        assert counters.activates > 0
+        assert counters.bus_bursts == run8.total_result_lines
+
+    def test_deterministic(self, workload):
+        a = NdpSimulator(NdpConfig(4, 4)).run(workload).ndp_only_ns
+        b = NdpSimulator(NdpConfig(4, 4)).run(workload).ndp_only_ns
+        assert a == b

@@ -1,0 +1,87 @@
+"""Tag-placement geometry (Sec. V-D) and the AES-engine model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ndp import AES_BLOCK_NS, AesEngineModel, TagPlacement, TagScheme
+
+
+class TestTagPlacement:
+    def test_enc_only_no_overheads(self):
+        p = TagPlacement(TagScheme.ENC_ONLY, row_bytes=128)
+        assert p.stride_bytes == 128
+        assert p.lines_for_row(0) == 2
+        assert p.lines_for_row(1) == 2
+        assert not p.extra_tag_line()
+        assert p.tag_otp_blocks_per_row() == 0
+
+    def test_ver_coloc_stride_includes_tag(self):
+        p = TagPlacement(TagScheme.VER_COLOC, row_bytes=128)
+        assert p.stride_bytes == 144
+        # Units of 144 B cross an extra line boundary for some indices.
+        lines = [p.lines_for_row(i) for i in range(8)]
+        assert min(lines) >= 3 - 1
+        assert max(lines) == 3
+
+    def test_ver_coloc_subline_rows(self):
+        p = TagPlacement(TagScheme.VER_COLOC, row_bytes=32)
+        lines = [p.lines_for_row(i) for i in range(16)]
+        # 48 B units: half stay in one line, half straddle two.
+        assert set(lines) == {1, 2}
+
+    def test_ver_sep_extra_line(self):
+        p = TagPlacement(TagScheme.VER_SEP, row_bytes=128)
+        assert p.extra_tag_line()
+        assert p.stride_bytes == 128
+
+    def test_ver_ecc_feasibility(self):
+        ok = TagPlacement(TagScheme.VER_ECC, row_bytes=128)
+        assert ok.ecc_feasible
+        with pytest.raises(ConfigurationError):
+            TagPlacement(TagScheme.VER_ECC, row_bytes=32)
+
+    def test_tag_otp_blocks(self):
+        assert TagPlacement(TagScheme.VER_ECC, 128).tag_otp_blocks_per_row() == 1
+        assert TagPlacement(TagScheme.VER_SEP, 128).tag_otp_blocks_per_row() == 1
+
+    def test_verified_property(self):
+        assert not TagScheme.ENC_ONLY.verified
+        assert TagScheme.VER_COLOC.verified
+        assert TagScheme.VER_SEP.verified
+        assert TagScheme.VER_ECC.verified
+
+    def test_invalid_row_bytes(self):
+        with pytest.raises(ConfigurationError):
+            TagPlacement(TagScheme.ENC_ONLY, row_bytes=0)
+
+
+class TestAesEngineModel:
+    def test_paper_throughput(self):
+        # [22]: 111.3 Gbps = one block per 1.15 ns.
+        one = AesEngineModel(n_engines=1)
+        assert abs(one.throughput_gbps - 111.3) < 0.1
+        assert one.otp_time_ns(1000) == pytest.approx(1000 * AES_BLOCK_NS)
+
+    def test_scaling_with_engines(self):
+        assert AesEngineModel(4).otp_time_ns(1000) == pytest.approx(
+            AesEngineModel(1).otp_time_ns(1000) / 4
+        )
+
+    def test_zero_blocks_zero_time(self):
+        assert AesEngineModel(8).otp_time_ns(0) == 0.0
+
+    def test_pipeline_fill(self):
+        m = AesEngineModel(1)
+        assert m.otp_time_ns(1, include_fill=True) > m.otp_time_ns(1)
+
+    def test_blocks_for_bytes(self):
+        m = AesEngineModel(1)
+        assert m.blocks_for_bytes(16) == 1
+        assert m.blocks_for_bytes(17) == 2
+        assert m.blocks_for_bytes(128) == 8
+
+    def test_invalid_engine_count(self):
+        with pytest.raises(ConfigurationError):
+            AesEngineModel(0)

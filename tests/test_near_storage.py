@@ -1,0 +1,82 @@
+"""Near-storage NDP: SecNDP generalises beyond DRAM (paper Secs. I/III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ndp import AesEngineModel, NdpWorkload, SimQuery, TableGeometry
+from repro.ndp.storage import NearStorageSimulator, SsdGeometry
+
+
+def make_workload(n_queries=16, pf=400, n_rows=200_000, row_bytes=128, seed=0):
+    """Storage-resident pooling: bigger PF, bigger tables than DRAM runs."""
+    rng = np.random.default_rng(seed)
+    tables = {0: TableGeometry(n_rows, row_bytes, 128)}
+    queries = tuple(
+        SimQuery(0, tuple(int(x) for x in rng.integers(0, n_rows, size=pf)))
+        for _ in range(n_queries)
+    )
+    return NdpWorkload(tables=tables, queries=queries)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return NearStorageSimulator().run(make_workload())
+
+
+class TestGeometry:
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SsdGeometry(channels=0)
+
+    def test_page_transfer_time(self):
+        geo = SsdGeometry()
+        assert geo.page_transfer_us() == pytest.approx(16384 / 1.2 / 1000)
+
+
+class TestSpeedups:
+    def test_near_storage_beats_host(self, result):
+        """Pooling in the drive avoids shipping raw pages: speedup > 1."""
+        assert result.ndp_speedup > 1.5
+
+    def test_link_is_the_host_bottleneck(self, result):
+        # The host baseline must be link-bound for this access pattern.
+        geo = SsdGeometry()
+        link_us = result.pages_read * geo.page_bytes / geo.host_link_gbps / 1000
+        assert result.host_us == pytest.approx(link_us, rel=0.01)
+
+    def test_secndp_matches_ndp_with_one_engine(self, result):
+        """Storage bandwidth is low enough that a single AES engine
+        saturates - the claim that SecNDP needs no extra provisioning for
+        near-storage deployments."""
+        one = AesEngineModel(1)
+        assert result.secndp_us(one) == pytest.approx(result.ndp_us)
+        assert result.secndp_speedup(one) == pytest.approx(result.ndp_speedup)
+
+    def test_deliberately_slow_engine_becomes_bottleneck(self, result):
+        glacial = AesEngineModel(1, block_ns=5000.0)
+        assert result.secndp_us(glacial) > result.ndp_us
+
+
+class TestAccounting:
+    def test_otp_blocks_match_bytes(self, result):
+        workload = make_workload()
+        total_rows = sum(len(q.rows) for q in workload.queries)
+        assert result.otp_blocks == total_rows * 8  # 128-byte rows
+
+    def test_page_dedup(self):
+        """Repeated rows on one page are read once (page granularity)."""
+        wl_dup = NdpWorkload(
+            tables={0: TableGeometry(1000, 128, 128)},
+            queries=(SimQuery(0, tuple([5] * 50)),),
+        )
+        res = NearStorageSimulator().run(wl_dup)
+        assert res.pages_read == 1
+
+    def test_more_channels_faster(self):
+        wl = make_workload()
+        slow = NearStorageSimulator(SsdGeometry(channels=2)).run(wl)
+        fast = NearStorageSimulator(SsdGeometry(channels=16)).run(wl)
+        assert fast.ndp_us < slow.ndp_us

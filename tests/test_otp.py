@@ -1,0 +1,80 @@
+"""OTP generation: block chunking, element slicing, scatter/gather parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto import OtpGenerator, RING8, RING32, TweakedCipher
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture
+def gen32():
+    return OtpGenerator(TweakedCipher(KEY), RING32)
+
+
+@pytest.fixture
+def gen8():
+    return OtpGenerator(TweakedCipher(KEY), RING8)
+
+
+class TestPadElements:
+    def test_elements_per_block(self, gen32, gen8):
+        assert gen32.elements_per_block == 4
+        assert gen8.elements_per_block == 16
+
+    def test_unaligned_base_rejected(self, gen32):
+        with pytest.raises(ValueError):
+            gen32.pad_elements(0x1001, 4, 0)
+
+    def test_negative_count_rejected(self, gen32):
+        with pytest.raises(ValueError):
+            gen32.pad_elements(0x1000, -1, 0)
+
+    def test_zero_count(self, gen32):
+        assert len(gen32.pad_elements(0x1000, 0, 0)) == 0
+
+    def test_partial_block(self, gen32):
+        # 6 elements span 1.5 blocks; the pad is a prefix of the 8-element pad.
+        pads6 = gen32.pad_elements(0x2000, 6, 1)
+        pads8 = gen32.pad_elements(0x2000, 8, 1)
+        assert np.array_equal(pads6, pads8[:6])
+
+    def test_deterministic(self, gen32):
+        assert np.array_equal(
+            gen32.pad_elements(0x1000, 8, 5), gen32.pad_elements(0x1000, 8, 5)
+        )
+
+    def test_version_sensitivity(self, gen32):
+        a = gen32.pad_elements(0x1000, 8, 0)
+        b = gen32.pad_elements(0x1000, 8, 1)
+        assert not np.array_equal(a, b)
+
+    def test_adjacent_blocks_differ(self, gen32):
+        pads = gen32.pad_elements(0x1000, 8, 0)
+        assert not np.array_equal(pads[:4], pads[4:])
+
+
+class TestScatteredPads:
+    def test_single_matches_bulk(self, gen32):
+        bulk = gen32.pad_elements(0x3000, 12, 2)
+        for j in range(12):
+            assert gen32.pad_element_at(0x3000 + 4 * j, 2) == int(bulk[j])
+
+    def test_vectorised_matches_single(self, gen8):
+        addrs = np.array([0x100, 0x105, 0x11F, 0x200], dtype=np.uint64)
+        batch = gen8.pad_elements_at(addrs, 3)
+        for i, a in enumerate(addrs):
+            assert int(batch[i]) == gen8.pad_element_at(int(a), 3)
+
+    def test_unaligned_element_rejected(self, gen32):
+        with pytest.raises(ValueError):
+            gen32.pad_element_at(0x1002, 0)
+        with pytest.raises(ValueError):
+            gen32.pad_elements_at(np.array([0x1002], dtype=np.uint64), 0)
+
+    def test_8bit_any_byte_address_ok(self, gen8):
+        # 1-byte elements are always aligned.
+        assert isinstance(gen8.pad_element_at(0x1003, 0), int)

@@ -1,0 +1,106 @@
+"""Workload->simulator bridges and the harness scale/CPU models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.configs import (
+    CpuModel,
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+)
+from repro.workloads import (
+    RMC_CONFIGS,
+    analytics_trace,
+    analytics_workload,
+    random_trace,
+    sls_workload,
+)
+
+
+class TestSlsWorkloadBridge:
+    def setup_method(self):
+        self.config = RMC_CONFIGS["RMC1-small"].scaled(1000)
+        self.traces = [random_trace(1000, 4, 10, seed=t) for t in range(8)]
+
+    def test_query_layout_sample_major(self):
+        wl = sls_workload(self.config, self.traces, batch=4)
+        assert len(wl.queries) == 4 * 8
+        # first 8 queries are sample 0 across the 8 tables
+        assert [q.table for q in wl.queries[:8]] == list(range(8))
+        assert wl.queries[0].rows == self.traces[0].indices[0]
+
+    def test_row_bytes_by_precision(self):
+        wl32 = sls_workload(self.config, self.traces, element_bytes=4)
+        wl8 = sls_workload(self.config, self.traces, element_bytes=1)
+        assert wl32.tables[0].row_bytes == 128
+        assert wl8.tables[0].row_bytes == 32
+
+    def test_rowwise_quant_adds_scale_bias(self):
+        wl = sls_workload(
+            self.config, self.traces, element_bytes=1, rowwise_quant=True
+        )
+        assert wl.tables[0].row_bytes == 40  # 32 + 8 bytes scale/bias
+
+    def test_rowwise_flag_ignored_for_fp32(self):
+        wl = sls_workload(
+            self.config, self.traces, element_bytes=4, rowwise_quant=True
+        )
+        assert wl.tables[0].row_bytes == 128
+
+    def test_trace_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sls_workload(self.config, self.traces[:3])
+
+    def test_workload_validates(self):
+        sls_workload(self.config, self.traces).validate()
+
+
+class TestAnalyticsBridge:
+    def test_geometry(self):
+        trace = analytics_trace(1000, 2, 100)
+        wl = analytics_workload(1000, 256, trace, element_bytes=4)
+        assert wl.tables[0].row_bytes == 1024
+        assert wl.tables[0].n_rows == 1000
+        assert len(wl.queries) == 2
+        wl.validate()
+
+
+class TestScales:
+    def test_three_scales_ordered(self):
+        assert (
+            SMOKE_SCALE.rows_per_table
+            < DEFAULT_SCALE.rows_per_table
+            < PAPER_SCALE.rows_per_table
+        )
+        assert SMOKE_SCALE.batch < DEFAULT_SCALE.batch <= PAPER_SCALE.batch
+
+    def test_paper_scale_matches_evaluation_parameters(self):
+        assert PAPER_SCALE.batch == 256             # Sec. VII-A
+        assert PAPER_SCALE.pooling_factor == 80     # Fig. 11 setting
+        assert PAPER_SCALE.analytics_genes == 1024  # Sec. VI-A
+        assert PAPER_SCALE.analytics_pf == 10_000
+
+
+class TestCpuModel:
+    def test_flops_scaling(self):
+        cpu = CpuModel()
+        c = RMC_CONFIGS["RMC1-small"]
+        assert cpu.mlp_ns(c, 32, in_tee=False) == pytest.approx(
+            2 * cpu.mlp_ns(c, 16, in_tee=False)
+        )
+
+    def test_tee_tax(self):
+        cpu = CpuModel()
+        c = RMC_CONFIGS["RMC1-small"]
+        plain = cpu.mlp_ns(c, 16, in_tee=False)
+        tee = cpu.mlp_ns(c, 16, in_tee=True)
+        assert tee == pytest.approx(plain * cpu.tee_slowdown)
+
+    def test_bigger_model_more_cpu_time(self):
+        cpu = CpuModel()
+        assert cpu.mlp_ns(RMC_CONFIGS["RMC2-large"], 16, False) > cpu.mlp_ns(
+            RMC_CONFIGS["RMC1-small"], 16, False
+        )

@@ -1,0 +1,114 @@
+"""Private MLP inference over encrypted weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import ConfigurationError, VerificationError
+from repro.workloads import PrivateMlp
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture
+def parties():
+    params = SecNDPParams(element_bits=32)
+    return SecNDPProcessor(KEY, params), UntrustedNdpDevice(params)
+
+
+@pytest.fixture
+def mlp(parties):
+    processor, device = parties
+    rng = np.random.default_rng(0)
+    mlp = PrivateMlp(processor, device)
+    mlp.add_layer(rng.normal(0, 0.5, size=(16, 32)), rng.normal(0, 0.1, 32))
+    mlp.add_layer(rng.normal(0, 0.5, size=(32, 8)), rng.normal(0, 0.1, 8))
+    mlp.add_layer(rng.normal(0, 0.5, size=(8, 2)))
+    return mlp
+
+
+class TestConstruction:
+    def test_shape_chaining_enforced(self, parties):
+        processor, device = parties
+        mlp = PrivateMlp(processor, device)
+        mlp.add_layer(np.zeros((4, 8)))
+        with pytest.raises(ConfigurationError):
+            mlp.add_layer(np.zeros((9, 2)))
+
+    def test_bias_shape_enforced(self, parties):
+        processor, device = parties
+        mlp = PrivateMlp(processor, device)
+        with pytest.raises(ConfigurationError):
+            mlp.add_layer(np.zeros((4, 8)), bias=np.zeros(3))
+
+    def test_1d_weights_rejected(self, parties):
+        processor, device = parties
+        with pytest.raises(ConfigurationError):
+            PrivateMlp(processor, device).add_layer(np.zeros(8))
+
+    def test_forward_without_layers_rejected(self, parties):
+        processor, device = parties
+        with pytest.raises(ConfigurationError):
+            PrivateMlp(processor, device).forward(np.zeros(4))
+
+
+class TestInference:
+    def test_matches_quantized_plaintext_closely(self, mlp):
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            x = rng.normal(0, 1, size=16)
+            secure = mlp.forward(x)
+            plain = mlp.forward_plaintext(x)
+            # only activation quantization separates the two paths
+            assert np.max(np.abs(secure - plain)) < 0.25
+
+    def test_matches_float_reference_within_quant_error(self, parties):
+        processor, device = parties
+        rng = np.random.default_rng(2)
+        w1 = rng.normal(0, 0.5, size=(12, 6))
+        w2 = rng.normal(0, 0.5, size=(6, 3))
+        mlp = PrivateMlp(processor, device)
+        mlp.add_layer(w1)
+        mlp.add_layer(w2)
+        x = rng.normal(0, 1, size=12)
+        secure = mlp.forward(x)
+        ref = np.maximum(x @ w1, 0) @ w2
+        assert np.max(np.abs(secure - ref)) < 0.35
+
+    def test_input_dim_checked(self, mlp):
+        with pytest.raises(ConfigurationError):
+            mlp.forward(np.zeros(15))
+
+    def test_deterministic(self, mlp):
+        x = np.linspace(-1, 1, 16)
+        assert np.array_equal(mlp.forward(x), mlp.forward(x))
+
+    def test_negative_activations_handled(self, mlp):
+        """The shift-to-non-negative trick must be exact for all-negative
+        inputs."""
+        x = -np.abs(np.random.default_rng(3).normal(1, 0.3, size=16))
+        secure = mlp.forward(x)
+        plain = mlp.forward_plaintext(x)
+        assert np.max(np.abs(secure - plain)) < 0.25
+
+
+class TestIntegrity:
+    def test_weight_tampering_detected(self, parties):
+        processor, device = parties
+        mlp = PrivateMlp(processor, device)
+        mlp.add_layer(np.random.default_rng(4).normal(size=(8, 4)))
+        device.corrupt_stored_ciphertext("layer0", 2, 1, delta=5)
+        with pytest.raises(VerificationError):
+            # varied activations: constant inputs quantize to all-zero
+            # weights and would never touch the corrupted row
+            mlp.forward(np.arange(8, dtype=float))
+
+    def test_malicious_partial_products_detected(self, parties):
+        processor, device = parties
+        mlp = PrivateMlp(processor, device)
+        mlp.add_layer(np.random.default_rng(5).normal(size=(8, 4)))
+        device.tamper_results(3)
+        with pytest.raises(VerificationError):
+            mlp.forward(np.arange(8, dtype=float))

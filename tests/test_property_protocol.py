@@ -1,0 +1,108 @@
+"""Property-based end-to-end protocol tests across parameterisations.
+
+These exercise Theorems A.1/A.2 as executable properties: for *any*
+element width, matrix, index multiset and non-negative weights within the
+overflow budget, the reconstructed result equals the integer weighted sum
+and verification passes; any single-bit ciphertext flip in a queried row
+fails verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import VerificationError
+
+KEY = bytes(range(16))
+
+# Cache processors per width: key schedule + params are reusable.
+_PROCESSORS = {}
+
+
+def processor_for(width: int) -> SecNDPProcessor:
+    if width not in _PROCESSORS:
+        _PROCESSORS[width] = SecNDPProcessor(KEY, SecNDPParams(element_bits=width))
+    return _PROCESSORS[width]
+
+
+@st.composite
+def protocol_case(draw):
+    width = draw(st.sampled_from([8, 16, 32]))
+    n_rows = draw(st.integers(2, 12))
+    elems_per_block = 128 // width
+    m = elems_per_block * draw(st.integers(1, 3))
+    pf = draw(st.integers(1, 6))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=pf, max_size=pf)
+    )
+    # Budget values/weights so sum stays below 2^width (Thm. A.2 premise):
+    # pf * max_w * max_v < 2^width, with max_w <= 3.
+    max_v = max(((1 << width) - 1) // (6 * 3), 1)
+    weights = draw(st.lists(st.integers(0, 3), min_size=pf, max_size=pf))
+    seed = draw(st.integers(0, 2**16))
+    values = np.random.default_rng(seed).integers(
+        0, max_v + 1, size=(n_rows, m), dtype=np.int64
+    )
+    version_salt = draw(st.integers(0, 1000))
+    return width, values, rows, weights, version_salt
+
+
+class TestCorrectnessProperty:
+    @given(protocol_case())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_sum_and_verification(self, case):
+        width, values, rows, weights, salt = case
+        proc = processor_for(width)
+        device = UntrustedNdpDevice(proc.params)
+        ring = proc.ring
+        enc = proc.encrypt_matrix(
+            ring.encode(values), 0x1000, "prop", with_tags=True  # one region, fresh versions per example
+        )
+        device.store("m", enc)
+        res = proc.weighted_row_sum(device, "m", rows, weights, verify=True)
+        expected = (
+            np.asarray(weights, dtype=np.int64)[:, None] * values[rows]
+        ).sum(axis=0) % (1 << width)
+        assert np.array_equal(res.values.astype(np.int64), expected)
+
+    @given(protocol_case(), st.integers(1, 63))
+    @settings(max_examples=25, deadline=None)
+    def test_any_corruption_in_queried_row_detected(self, case, delta):
+        """Soundness caveat baked into the construction: the result only
+        changes by ``(sum of the row's weights) * delta mod 2^w_e``, so the
+        test dedupes rows and bounds ``w * delta < 2^8`` - otherwise the
+        corruption can *cancel*, leaving a correct result that rightly
+        verifies."""
+        width, values, rows, weights, salt = case
+        rows = sorted(set(rows))                      # each row at most once
+        weights = [max(w, 1) for w in weights[: len(rows)]]  # w in [1, 3]
+        proc = processor_for(width)
+        device = UntrustedNdpDevice(proc.params)
+        enc = proc.encrypt_matrix(
+            proc.ring.encode(values), 0x1000, "propc", with_tags=True
+        )
+        device.store("m", enc)
+        # w * delta <= 3 * 63 = 189 < 2^8 <= 2^width: never cancels.
+        device.corrupt_stored_ciphertext("m", rows[0], delta % values.shape[1], delta)
+        with pytest.raises(VerificationError):
+            proc.weighted_row_sum(device, "m", rows, weights, verify=True)
+
+
+class TestDeterminismProperty:
+    @given(protocol_case())
+    @settings(max_examples=15, deadline=None)
+    def test_idempotent_queries(self, case):
+        width, values, rows, weights, salt = case
+        proc = processor_for(width)
+        device = UntrustedNdpDevice(proc.params)
+        enc = proc.encrypt_matrix(
+            proc.ring.encode(values), 0x2000, "propd", with_tags=True
+        )
+        device.store("m", enc)
+        a = proc.weighted_row_sum(device, "m", rows, weights).values
+        b = proc.weighted_row_sum(device, "m", rows, weights).values
+        assert np.array_equal(a, b)

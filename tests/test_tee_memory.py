@@ -1,0 +1,101 @@
+"""Conventional TEE memory: protection works; computation over it doesn't."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.tee_memory import LINE_BYTES_TEE, TeeProtectedMemory
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import ConfigurationError, VerificationError
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture
+def memory():
+    mem = TeeProtectedMemory(KEY, n_lines=16)
+    for line in range(8):
+        mem.write(line, bytes([line]) * LINE_BYTES_TEE)
+    return mem
+
+
+class TestProtection:
+    def test_roundtrip(self, memory):
+        assert memory.read(3) == bytes([3]) * 64
+
+    def test_rewrite_bumps_version(self, memory):
+        memory.write(3, b"\xaa" * 64)
+        assert memory.read(3) == b"\xaa" * 64
+
+    def test_ciphertext_not_plaintext(self, memory):
+        assert memory.raw_ciphertext(1) != bytes([1]) * 64
+
+    def test_same_data_different_lines_different_ciphertext(self, memory):
+        memory.write(10, b"\x55" * 64)
+        memory.write(11, b"\x55" * 64)
+        assert memory.raw_ciphertext(10) != memory.raw_ciphertext(11)
+
+    def test_same_data_rewrite_changes_ciphertext(self, memory):
+        memory.write(10, b"\x55" * 64)
+        first = memory.raw_ciphertext(10)
+        memory.write(10, b"\x55" * 64)  # same plaintext, fresh version
+        assert memory.raw_ciphertext(10) != first
+
+    def test_tamper_detected(self, memory):
+        memory.tamper_ciphertext(2, 17, 0x01)
+        with pytest.raises(VerificationError):
+            memory.read(2)
+
+    def test_replay_detected(self, memory):
+        stale = memory.snapshot_line(4)
+        memory.write(4, b"\xff" * 64)       # legitimate update
+        memory.replay_line(4, *stale)        # attacker restores old pair
+        with pytest.raises(VerificationError):
+            memory.read(4)
+
+    def test_unwritten_line_rejected(self, memory):
+        with pytest.raises(ConfigurationError):
+            memory.read(15)
+
+    def test_bad_sizes_rejected(self, memory):
+        with pytest.raises(ConfigurationError):
+            memory.write(0, b"short")
+        with pytest.raises(ConfigurationError):
+            memory.write(99, bytes(64))
+
+
+class TestWhyNdpNeedsArithmeticEncryption:
+    """The paper's motivating contrast, executed."""
+
+    def test_xor_ciphertext_sum_is_garbage(self):
+        """Summing XOR-counter-mode ciphertext lines and decrypting the
+        sum does NOT give the sum of plaintexts."""
+        mem = TeeProtectedMemory(KEY, n_lines=4)
+        a = np.arange(16, dtype=np.uint32)
+        b = np.arange(16, dtype=np.uint32) * 3 + 1
+        mem.write(0, a.tobytes())
+        mem.write(1, b.tobytes())
+        ct_sum = (
+            np.frombuffer(mem.raw_ciphertext(0), dtype=np.uint32)
+            + np.frombuffer(mem.raw_ciphertext(1), dtype=np.uint32)
+        ).astype(np.uint32)
+        # There is no pad the processor could derive that turns ct_sum
+        # into a+b: even applying both lines' pads fails.
+        pad0 = np.frombuffer(mem._pad(0, 1), dtype=np.uint32)
+        pad1 = np.frombuffer(mem._pad(1, 1), dtype=np.uint32)
+        attempt = (ct_sum ^ pad0 ^ pad1).astype(np.uint32)
+        assert not np.array_equal(attempt, (a + b).astype(np.uint32))
+
+    def test_arithmetic_ciphertext_sum_decrypts_correctly(self):
+        """The same experiment under SecNDP's arithmetic encryption works
+        - this is exactly Theorem A.1."""
+        params = SecNDPParams(element_bits=32)
+        proc = SecNDPProcessor(KEY, params)
+        dev = UntrustedNdpDevice(params)
+        a = np.arange(16, dtype=np.uint32)
+        b = np.arange(16, dtype=np.uint32) * 3 + 1
+        enc = proc.encrypt_matrix(np.stack([a, b]), 0x1000, "ab", with_tags=False)
+        dev.store("ab", enc)
+        res = proc.weighted_row_sum(dev, "ab", [0, 1], [1, 1], verify=False)
+        assert np.array_equal(res.values, (a + b).astype(np.uint32))

@@ -1,0 +1,152 @@
+"""Embedding tables, SLS pooling and quantization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    ColumnwiseQuantizer,
+    EmbeddingTable,
+    FixedPointCodec,
+    RowwiseQuantizer,
+    TablewiseQuantizer,
+    sls,
+    sls_weighted,
+)
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(5)
+    return EmbeddingTable(rng.normal(0, 1, size=(100, 16)).astype(np.float32))
+
+
+class TestSls:
+    def test_unweighted(self, table):
+        out = sls(table, [1, 5, 9])
+        assert np.allclose(out, table.values[[1, 5, 9]].sum(axis=0))
+
+    def test_weighted(self, table):
+        out = sls_weighted(table, [1, 5], [0.5, 2.0])
+        assert np.allclose(out, 0.5 * table.values[1] + 2.0 * table.values[5])
+
+    def test_length_mismatch(self, table):
+        with pytest.raises(ConfigurationError):
+            sls_weighted(table, [1, 2], [1.0])
+
+    def test_geometry(self, table):
+        assert table.n_rows == 100
+        assert table.dim == 16
+        assert table.row_bytes == 64
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingTable(np.zeros(8, dtype=np.float32))
+
+
+class TestFixedPointCodec:
+    def test_roundtrip_error_bounded(self):
+        codec = FixedPointCodec(frac_bits=16)
+        values = np.array([0.1, -2.5, 3.14159, 0.0])
+        recovered = codec.dequantize(codec.quantize(values))
+        assert np.max(np.abs(recovered - values)) <= 0.5 / codec.scale
+
+    def test_out_of_range_rejected(self):
+        codec = FixedPointCodec(frac_bits=16, total_bits=32)
+        with pytest.raises(ConfigurationError):
+            codec.quantize(np.array([1e6]))
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointCodec(frac_bits=32, total_bits=32)
+
+    def test_integer_exactness(self):
+        codec = FixedPointCodec(frac_bits=8)
+        values = np.array([1.0, 2.0, -3.0])
+        assert np.array_equal(codec.dequantize(codec.quantize(values)), values)
+
+
+class TestQuantizers:
+    def setup_method(self):
+        rng = np.random.default_rng(6)
+        self.table = rng.normal(0, 1, size=(64, 8))
+
+    def test_rowwise_roundtrip(self):
+        rw = RowwiseQuantizer()
+        q, scales, biases = rw.quantize(self.table)
+        rec = rw.dequantize(q, scales, biases)
+        per_row_span = self.table.max(axis=1) - self.table.min(axis=1)
+        assert np.all(np.abs(rec - self.table) <= per_row_span[:, None] / 255 + 1e-12)
+
+    def test_tablewise_roundtrip(self):
+        tw = TablewiseQuantizer()
+        q, scale, bias = tw.quantize(self.table)
+        rec = tw.dequantize(q, scale, bias)
+        span = self.table.max() - self.table.min()
+        assert np.max(np.abs(rec - self.table)) <= span / 255 + 1e-12
+
+    def test_columnwise_roundtrip(self):
+        cw = ColumnwiseQuantizer()
+        q, scales, biases = cw.quantize(self.table)
+        rec = cw.dequantize(q, scales, biases)
+        span = self.table.max(axis=0) - self.table.min(axis=0)
+        assert np.all(np.abs(rec - self.table) <= span[None, :] / 255 + 1e-12)
+
+    def test_columnwise_tighter_than_tablewise(self):
+        """Per-column spans never exceed the global span, so column-wise
+        error is at most table-wise error (the paper's motivation)."""
+        tw_q, tw_s, tw_b = TablewiseQuantizer().quantize(self.table)
+        cw_q, cw_s, cw_b = ColumnwiseQuantizer().quantize(self.table)
+        tw_err = np.abs(
+            TablewiseQuantizer().dequantize(tw_q, tw_s, tw_b) - self.table
+        ).mean()
+        cw_err = np.abs(
+            ColumnwiseQuantizer().dequantize(cw_q, cw_s, cw_b) - self.table
+        ).mean()
+        assert cw_err <= tw_err * 1.01
+
+    def test_tablewise_pooled_correction(self):
+        """res = resq * scale + bias * sum(a) equals pooling the
+        dequantized rows - the identity enabling SLS over ciphertext."""
+        tw = TablewiseQuantizer()
+        q, scale, bias = tw.quantize(self.table)
+        rows = [3, 7, 11]
+        weights = [1.0, 2.0, 1.0]
+        pooled_q = (np.array(weights)[:, None] * q[rows].astype(np.float64)).sum(
+            axis=0
+        )
+        corrected = tw.correct_pooled(pooled_q, scale, bias, weights)
+        direct = (
+            np.array(weights)[:, None] * tw.dequantize(q, scale, bias)[rows]
+        ).sum(axis=0)
+        assert np.allclose(corrected, direct)
+
+    def test_columnwise_pooled_correction(self):
+        cw = ColumnwiseQuantizer()
+        q, scales, biases = cw.quantize(self.table)
+        rows = [0, 1]
+        weights = [3.0, 4.0]
+        pooled_q = (np.array(weights)[:, None] * q[rows].astype(np.float64)).sum(
+            axis=0
+        )
+        corrected = cw.correct_pooled(pooled_q, scales, biases, weights)
+        direct = (
+            np.array(weights)[:, None] * cw.dequantize(q, scales, biases)[rows]
+        ).sum(axis=0)
+        assert np.allclose(corrected, direct)
+
+    def test_rowwise_pooled_needs_per_row_scale(self):
+        rw = RowwiseQuantizer()
+        q, scales, biases = rw.quantize(self.table)
+        rows = [2, 9]
+        weights = [1.0, 1.0]
+        pooled = rw.pooled(q, scales, biases, rows, weights)
+        direct = rw.dequantize(q, scales, biases)[rows].sum(axis=0)
+        assert np.allclose(pooled, direct)
+
+    def test_constant_table_handled(self):
+        const = np.full((4, 4), 2.5)
+        q, scale, bias = TablewiseQuantizer().quantize(const)
+        assert np.allclose(TablewiseQuantizer().dequantize(q, scale, bias), const)
