@@ -1,0 +1,223 @@
+"""Benchmark: scalar vs vectorized hot paths (tags, OTPs, end-to-end SLS).
+
+The verification layer lives in GF(2^127-1); this bench tracks the three
+paths the limb-vectorized field (`repro.crypto.limb_field`) accelerates:
+
+1. **matrix_tags** — per-row Alg. 2 tags for an ``n x m`` matrix,
+   scalar Python-int Horner vs the one-sweep limb dot.  Acceptance:
+   >= 5x at the default scale's 10k x 64 matrix, bit-identical output.
+2. **OTP generation** — scattered pad elements for an SLS query,
+   one AES call per element (the old path) vs block-deduped + LRU-cached.
+3. **end-to-end SLS** — a batch of verified queries served one at a time
+   vs through the amortized ``sls_many`` path.
+
+Results are printed and appended to ``BENCH_hotpaths.json`` at the repo
+root so later PRs can track the perf trajectory.  Scale via
+``SECNDP_BENCH_SCALE`` (smoke / default / paper); at paper scale the
+scalar tag path is measured on a row slice and extrapolated linearly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.checksum import LinearChecksum
+from repro.core.params import SecNDPParams
+from repro.core.protocol import SecNDPProcessor, UntrustedNdpDevice
+from repro.crypto.aes import BLOCK_BYTES
+from repro.crypto.tweaked import DOMAIN_DATA
+from repro.workloads.secure_sls import SecureEmbeddingStore
+
+KEY = bytes(range(16))
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+#: Per-scale sizes: (tag-matrix rows, columns, pooling factor, batch,
+#: scalar measurement row cap — None means measure the full matrix).
+_SIZES = {
+    "smoke": dict(n_rows=2_000, dim=64, pf=40, batch=8, scalar_cap=None),
+    "default": dict(n_rows=10_000, dim=64, pf=80, batch=16, scalar_cap=None),
+    "paper": dict(n_rows=50_000, dim=64, pf=80, batch=64, scalar_cap=5_000),
+}
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _bench_matrix_tags(sizes) -> dict:
+    """Scalar per-row Horner vs limb-vectorized sweep, same outputs."""
+    params = SecNDPParams(element_bits=8)
+    checksum = LinearChecksum(params.cipher(KEY), params)
+    rng = np.random.default_rng(0)
+    n, m = sizes["n_rows"], sizes["dim"]
+    matrix = rng.integers(0, 256, size=(n, m), dtype=np.uint64)
+    s = checksum.secret_point(0x100000, 1)
+
+    t_vec, tags_vec = _best_of(lambda: checksum.row_tags(matrix, s))
+
+    cap = sizes["scalar_cap"] or n
+    cap = min(cap, n)
+    t0 = time.perf_counter()
+    tags_scalar = [checksum.row_tag(row, s) for row in matrix[:cap]]
+    t_scalar = (time.perf_counter() - t0) * (n / cap)
+
+    assert tags_vec[:cap] == tags_scalar, "vectorized tags diverge from scalar"
+    return {
+        "n_rows": n,
+        "dim": m,
+        "scalar_seconds": t_scalar,
+        "scalar_extrapolated": cap < n,
+        "vectorized_seconds": t_vec,
+        "speedup": t_scalar / t_vec,
+    }
+
+
+def _bench_otp(sizes) -> dict:
+    """Per-element AES (old path) vs block-deduped + cached generation."""
+    params = SecNDPParams(element_bits=8)
+    processor = SecNDPProcessor(KEY, params)
+    otp = processor.encryptor.otp
+    ring = processor.ring
+    elem_bytes = params.element_bytes
+    rng = np.random.default_rng(1)
+
+    # Element addresses of an SLS query: pf rows x dim contiguous elements.
+    pf, m = sizes["pf"], sizes["dim"]
+    rows = rng.integers(0, sizes["n_rows"], size=pf)
+    row_bytes = m * elem_bytes
+    addrs = (
+        0x100000
+        + rows[:, None].astype(np.uint64) * np.uint64(row_bytes)
+        + np.arange(m, dtype=np.uint64)[None, :] * np.uint64(elem_bytes)
+    ).reshape(-1)
+
+    def nodedupe():
+        # The pre-dedupe implementation: one cipher call per element.
+        block_addrs = (addrs // BLOCK_BYTES) * BLOCK_BYTES
+        idx = ((addrs % BLOCK_BYTES) // elem_bytes).astype(np.intp)
+        pads = otp.cipher.encrypt_counters(DOMAIN_DATA, block_addrs, 1)
+        elems = pads.reshape(-1).view(ring.dtype).reshape(
+            len(addrs), otp.elements_per_block
+        )
+        return elems[np.arange(len(addrs)), idx]
+
+    t_old, pads_old = _best_of(nodedupe)
+
+    otp.clear_cache()
+    t_cold, pads_new = _best_of(lambda: otp.pad_elements_at(addrs, 1), repeats=1)
+    t_warm, pads_warm = _best_of(lambda: otp.pad_elements_at(addrs, 1))
+
+    assert np.array_equal(pads_old, pads_new), "deduped pads diverge"
+    assert np.array_equal(pads_old, pads_warm), "cached pads diverge"
+    unique_blocks = len(np.unique((addrs // BLOCK_BYTES)))
+    return {
+        "elements": int(len(addrs)),
+        "aes_blocks_old": int(len(addrs)),
+        "aes_blocks_deduped": unique_blocks,
+        "per_element_seconds": t_old,
+        "deduped_cold_seconds": t_cold,
+        "deduped_warm_seconds": t_warm,
+        "speedup_cold": t_old / t_cold,
+        "speedup_warm": t_old / t_warm,
+    }
+
+
+def _bench_sls(sizes) -> dict:
+    """Per-query verified SLS loop vs the amortized batched entry point.
+
+    8-bit quantized values pooled in a 32-bit ring (the paper's SLS
+    configuration: overflow budget `PF * max(a) * max(q) < 2^w_e`).
+    """
+    params = SecNDPParams(element_bits=32)
+    processor = SecNDPProcessor(KEY, params)
+    device = UntrustedNdpDevice(params)
+    store = SecureEmbeddingStore(processor, device, quantization="table")
+    rng = np.random.default_rng(2)
+    n_rows = min(sizes["n_rows"], 4_096)
+    store.add_table("emb", rng.normal(size=(n_rows, sizes["dim"])))
+
+    pf = min(sizes["pf"], store.max_pooling_factor("emb"))
+    batch = sizes["batch"]
+    # Production SLS traffic is skewed; draw from a hot subset so the
+    # batch's queries overlap rows (what sls_many amortizes).
+    hot = max(2 * pf, 64)
+    batch_rows = [list(rng.integers(0, min(hot, n_rows), size=pf)) for _ in range(batch)]
+
+    def sequential():
+        return [store.sls("emb", rows) for rows in batch_rows]
+
+    def batched():
+        return store.sls_many("emb", batch_rows)
+
+    t_seq, out_seq = _best_of(sequential, repeats=2)
+    t_bat, out_bat = _best_of(batched, repeats=2)
+    assert np.allclose(np.asarray(out_seq), out_bat), "batched SLS diverges"
+    return {
+        "table_rows": n_rows,
+        "dim": sizes["dim"],
+        "pooling_factor": int(pf),
+        "batch": batch,
+        "sequential_seconds": t_seq,
+        "batched_seconds": t_bat,
+        "speedup": t_seq / t_bat,
+    }
+
+
+def test_hotpaths(scale):
+    sizes = _SIZES.get(scale.name, _SIZES["default"])
+    report = {
+        "scale": scale.name,
+        "matrix_tags": _bench_matrix_tags(sizes),
+        "otp_generation": _bench_otp(sizes),
+        "sls_end_to_end": _bench_sls(sizes),
+    }
+
+    print()
+    mt = report["matrix_tags"]
+    print(
+        f"matrix_tags {mt['n_rows']}x{mt['dim']}: scalar {mt['scalar_seconds']*1e3:.1f} ms"
+        f"{' (extrapolated)' if mt['scalar_extrapolated'] else ''}, "
+        f"vectorized {mt['vectorized_seconds']*1e3:.1f} ms -> {mt['speedup']:.1f}x"
+    )
+    ot = report["otp_generation"]
+    print(
+        f"otp pads ({ot['elements']} elems, {ot['aes_blocks_deduped']} blocks): "
+        f"per-element {ot['per_element_seconds']*1e3:.2f} ms, deduped cold "
+        f"{ot['deduped_cold_seconds']*1e3:.2f} ms ({ot['speedup_cold']:.1f}x), "
+        f"warm {ot['deduped_warm_seconds']*1e3:.2f} ms ({ot['speedup_warm']:.1f}x)"
+    )
+    sl = report["sls_end_to_end"]
+    print(
+        f"sls batch={sl['batch']} pf={sl['pooling_factor']}: sequential "
+        f"{sl['sequential_seconds']*1e3:.1f} ms, batched {sl['batched_seconds']*1e3:.1f} ms "
+        f"-> {sl['speedup']:.2f}x"
+    )
+
+    # Perf trajectory file: one entry per scale, overwritten in place.
+    existing = {}
+    if _JSON_PATH.exists():
+        try:
+            existing = json.loads(_JSON_PATH.read_text())
+        except ValueError:
+            existing = {}
+    existing[scale.name] = report
+    _JSON_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+    # Acceptance floors (generous margins below measured values so CI
+    # noise does not flake): the tentpole claim is the tag sweep.
+    if scale.name == "smoke":
+        assert mt["speedup"] >= 3.0
+    else:
+        assert mt["speedup"] >= 5.0
+    assert ot["aes_blocks_deduped"] < ot["aes_blocks_old"]
+    assert ot["speedup_cold"] > 1.0

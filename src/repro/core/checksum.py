@@ -9,6 +9,14 @@ the tag of the *result* from the per-row tags alone (Sec. IV-F).
 Alg. 8 is the appendix variant that extracts ``cnt_s = w_c / w_t``
 evaluation points from one cipher block, lowering the forgery bound from
 ``m/q`` to ``m/(cnt_s * q)``.
+
+Hot-path note: per-row ``row_tag`` is the scalar *reference oracle*
+(interpreted Python big-int Horner).  Whole-matrix tagging goes through
+:meth:`row_tags`, which rewrites the hash as one dot product per row
+against a precomputed power-weight vector and — for the paper's default
+modulus ``q = 2^127 - 1`` — evaluates all rows in a single
+limb-vectorized sweep (:mod:`repro.crypto.limb_field`).  Both paths are
+bit-identical; the equivalence tests pin this.
 """
 
 from __future__ import annotations
@@ -17,11 +25,32 @@ from typing import Sequence
 
 import numpy as np
 
+from ..crypto import limb_field
 from ..crypto.prime_field import PrimeField
 from ..crypto.tweaked import DOMAIN_CHECKSUM, TweakedCipher
 from .params import SecNDPParams
 
 __all__ = ["LinearChecksum", "MultiPointChecksum"]
+
+#: Power-weight vectors are cached per (key, row length); a handful of
+#: matrices are typically live at once, so a small FIFO cap suffices.
+_WEIGHT_CACHE_CAP = 32
+
+
+def _vectorizable(field: PrimeField, matrix: np.ndarray) -> bool:
+    """True when the limb kernels can consume ``matrix`` directly.
+
+    Requires the Mersenne-127 modulus and non-negative integer residues
+    that fit a uint64 lane; anything else (test primes, signed values,
+    object dtypes) falls back to the scalar oracle.
+    """
+    if not limb_field.supports_field(field):
+        return False
+    if matrix.size == 0 or not np.issubdtype(matrix.dtype, np.integer):
+        return False
+    if np.issubdtype(matrix.dtype, np.unsignedinteger):
+        return True
+    return int(matrix.min()) >= 0
 
 
 class LinearChecksum:
@@ -36,6 +65,7 @@ class LinearChecksum:
         self.cipher = cipher
         self.params = params
         self.field: PrimeField = params.field()
+        self._weight_cache: dict = {}
 
     def secret_point(self, matrix_addr: int, version: int) -> int:
         """Derive ``s`` (Alg. 2 line 4) for the matrix at ``matrix_addr``."""
@@ -45,13 +75,44 @@ class LinearChecksum:
         return self.field.reduce(s)
 
     def row_tag(self, row: Sequence[int], s: int) -> int:
-        """``T_i = sum_j row[j] * s^(m-j) mod q`` (Alg. 2 line 5)."""
+        """``T_i = sum_j row[j] * s^(m-j) mod q`` (Alg. 2 line 5).
+
+        Scalar reference path; the batched sweep is :meth:`row_tags`.
+        """
         return self.field.checksum([int(x) for x in row], s)
+
+    def _weights(self, s: int, m: int) -> np.ndarray:
+        """Cached limb decomposition of ``[s^m, ..., s^1]``."""
+        key = (s, m)
+        w = self._weight_cache.get(key)
+        if w is None:
+            if len(self._weight_cache) >= _WEIGHT_CACHE_CAP:
+                self._weight_cache.pop(next(iter(self._weight_cache)))
+            w = limb_field.power_weights(self.field, s, m)
+            self._weight_cache[key] = w
+        return w
+
+    def row_tags(self, matrix: np.ndarray, s: int) -> list:
+        """All row tags under one secret point, in one vectorized sweep.
+
+        ``sum_j P_{i,j} * s^(m-j)`` is a dot of row ``i`` against the
+        fixed power vector ``[s^m, ..., s^1]``; the ``m`` scalar
+        multiplications to build that vector amortize over all ``n``
+        rows.  Bit-identical to per-row :meth:`row_tag`.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("row_tags expects a 2-D matrix")
+        if _vectorizable(self.field, matrix):
+            return limb_field.weighted_row_tags(
+                matrix.astype(np.uint64, copy=False), self._weights(s, matrix.shape[1])
+            )
+        return [self.row_tag(row, s) for row in matrix]
 
     def matrix_tags(self, matrix: np.ndarray, matrix_addr: int, version: int) -> list:
         """Per-row tags for a whole matrix under one secret point."""
         s = self.secret_point(matrix_addr, version)
-        return [self.row_tag(row, s) for row in np.asarray(matrix)]
+        return self.row_tags(np.asarray(matrix), s)
 
     def result_tag(self, result: Sequence[int], s: int) -> int:
         """Checksum of a reconstructed result vector (Alg. 5 line 10).
@@ -59,6 +120,9 @@ class LinearChecksum:
         Must use the same exponent convention as :meth:`row_tag` so the
         linearity identity ``h(a x P) = a x h(P)`` holds exactly.
         """
+        arr = np.asarray(result)
+        if arr.ndim == 1 and _vectorizable(self.field, arr):
+            return self.row_tags(arr[None, :], s)[0]
         return self.row_tag(result, s)
 
     # Uniform interface shared with :class:`MultiPointChecksum` so the
@@ -85,6 +149,7 @@ class MultiPointChecksum:
         # smaller tag moduli.  We follow Alg. 8 line 5 with floor division,
         # clamped to at least one point.
         self.cnt_s = max(1, self.params.block_bits // self.params.tag_bits)
+        self._weight_cache: dict = {}
 
     def secret_points(self, matrix_addr: int, version: int) -> list:
         """The ``s_k`` substrings of ``E(K, 01 || paddr(P) || v)`` (line 8)."""
@@ -98,7 +163,10 @@ class MultiPointChecksum:
         return points
 
     def row_tag(self, row: Sequence[int], points: Sequence[int]) -> int:
-        """``T_i = sum_j P_{i,j} * s_{(m-j) mod cnt_s}^floor((m-j)/cnt_s)``."""
+        """``T_i = sum_j P_{i,j} * s_{(m-j) mod cnt_s}^floor((m-j)/cnt_s)``.
+
+        Scalar reference path; the batched sweep is :meth:`row_tags`.
+        """
         m = len(row)
         acc = 0
         for j, value in enumerate(row):
@@ -107,11 +175,47 @@ class MultiPointChecksum:
             acc += int(value) * self.field.pow(s_k, e // self.cnt_s)
         return self.field.reduce(acc)
 
+    def weight_vector(self, m: int, points: Sequence[int]) -> list:
+        """Alg. 8 column weights ``w_j = s_{(m-j) mod cnt_s}^floor((m-j)/cnt_s)``.
+
+        Computed once per (key, row length) — every row's tag is then a
+        plain dot against this vector, which is what makes the
+        multi-point variant batchable exactly like Alg. 2.
+        """
+        key = (tuple(int(p) for p in points), m)
+        cached = self._weight_cache.get(key)
+        if cached is None:
+            if len(self._weight_cache) >= _WEIGHT_CACHE_CAP:
+                self._weight_cache.pop(next(iter(self._weight_cache)))
+            cached = [
+                self.field.pow(points[(m - j) % self.cnt_s], (m - j) // self.cnt_s)
+                for j in range(m)
+            ]
+            self._weight_cache[key] = cached
+        return cached
+
+    def row_tags(self, matrix: np.ndarray, points: Sequence[int]) -> list:
+        """All row tags in one sweep against the precomputed weight vector."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("row_tags expects a 2-D matrix")
+        weights = self.weight_vector(matrix.shape[1], points)
+        if _vectorizable(self.field, matrix):
+            return limb_field.weighted_row_tags(
+                matrix.astype(np.uint64, copy=False), limb_field.to_limbs(weights)
+            )
+        return [
+            self.field.dot(weights, [int(x) for x in row]) for row in matrix
+        ]
+
     def matrix_tags(self, matrix: np.ndarray, matrix_addr: int, version: int) -> list:
         points = self.secret_points(matrix_addr, version)
-        return [self.row_tag(row, points) for row in np.asarray(matrix)]
+        return self.row_tags(np.asarray(matrix), points)
 
     def result_tag(self, result: Sequence[int], points: Sequence[int]) -> int:
+        arr = np.asarray(result)
+        if arr.ndim == 1 and _vectorizable(self.field, arr):
+            return self.row_tags(arr[None, :], points)[0]
         return self.row_tag(result, points)
 
     # Uniform interface (see :meth:`LinearChecksum.key_for`): the key of

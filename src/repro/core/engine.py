@@ -143,7 +143,9 @@ class SecNDPEngine:
             key = self.checksum.key_for(
                 encrypted.base_addr, encrypted.checksum_version
             )
-            t_res = self.checksum.result_tag([int(x) for x in res], key)
+            # res is a vector of ring residues; result_tag dispatches to
+            # the limb-vectorized checksum for the default tag field.
+            t_res = self.checksum.result_tag(res, key)
             retrieved = self.field.add(ndp_tag, self.otp_pu.read_tag(reg))
             if retrieved != t_res:
                 raise VerificationError(

@@ -8,6 +8,13 @@ from) the data in untrusted memory; because encryption is linear in
 ``GF(q)``, the NDP can combine tags exactly like data
 (``C_{T_res} = a x C_T``) and the processor can combine tag pads
 (``E_{T_res} = a x E_T``) without fetching anything.
+
+Hot-path note: :meth:`tag_pad` (one scalar AES call per row) is the
+reference; :meth:`attach_tags` and :meth:`tag_pads_for_rows` batch all
+row addresses through the vectorized AES sweep and compute row tags with
+the limb-vectorized checksum, so tagging an ``n x m`` matrix costs one
+cipher sweep + one field sweep instead of ``n`` scalar AES calls and
+``n * m`` interpreted field operations.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..crypto.aes import BLOCK_BYTES
 from ..crypto.prime_field import PrimeField
 from ..crypto.tweaked import DOMAIN_TAG, TweakedCipher
 from .checksum import LinearChecksum, MultiPointChecksum
@@ -38,13 +46,27 @@ class EncryptedLinearMac:
         self.params = params
         self.field: PrimeField = params.field()
         # Either the single-point hash of Alg. 2 (default) or the
-        # multi-point variant of Alg. 8; both expose key_for/row_tag.
+        # multi-point variant of Alg. 8; both expose key_for/row_tags.
         self.checksum = checksum or LinearChecksum(cipher, params)
 
     def tag_pad(self, row_addr: int, version: int) -> int:
         """``E_{T_i}`` - first ``w_t`` bits of ``E(K, 10 || paddr(P_i) || v)``."""
         pad = self.cipher.encrypt_counter_int(DOMAIN_TAG, row_addr, version)
         return self.field.reduce(pad >> (self.params.block_bits - self.params.tag_bits))
+
+    def tag_pads(self, row_addrs: Sequence[int], version: int) -> list:
+        """Batched :meth:`tag_pad`: one vectorized AES sweep for all rows."""
+        addrs = np.asarray(row_addrs, dtype=np.uint64)
+        if addrs.size == 0:
+            return []
+        blocks = self.cipher.encrypt_counters(DOMAIN_TAG, addrs, version)
+        shift = self.params.block_bits - self.params.tag_bits
+        buf = blocks.tobytes()
+        reduce = self.field.reduce
+        return [
+            reduce(int.from_bytes(buf[BLOCK_BYTES * i : BLOCK_BYTES * (i + 1)], "big") >> shift)
+            for i in range(addrs.size)
+        ]
 
     def encrypt_tag(self, tag: int, row_addr: int, version: int) -> int:
         """``C_{T_i} = T_i - E_{T_i} mod q`` (Alg. 3 line 5)."""
@@ -72,11 +94,13 @@ class EncryptedLinearMac:
         if plaintext.shape != encrypted.ciphertext.shape:
             raise ValueError("plaintext/ciphertext shape mismatch")
         key = self.checksum.key_for(encrypted.base_addr, checksum_version)
-        tags = []
-        for i, row in enumerate(plaintext):
-            tag = self.checksum.row_tag(row, key)
-            tags.append(self.encrypt_tag(tag, encrypted.row_addr(i), tag_version))
-        encrypted.tags = tags
+        tags = self.checksum.row_tags(plaintext, key)
+        row_addrs = encrypted.base_addr + np.arange(
+            encrypted.n_rows, dtype=np.uint64
+        ) * np.uint64(encrypted.row_bytes)
+        pads = self.tag_pads(row_addrs, tag_version)
+        sub = self.field.sub
+        encrypted.tags = [sub(t, p) for t, p in zip(tags, pads)]
         encrypted.checksum_version = checksum_version
         encrypted.tag_version = tag_version
 
@@ -86,7 +110,5 @@ class EncryptedLinearMac:
         """Regenerate ``E_{T_k}`` for the rows of a query (Alg. 5 lines 11-13)."""
         if encrypted.tag_version is None:
             raise ValueError("matrix has no attached tags")
-        return [
-            self.tag_pad(encrypted.row_addr(int(i)), encrypted.tag_version)
-            for i in rows
-        ]
+        addrs = [encrypted.row_addr(int(i)) for i in rows]
+        return self.tag_pads(addrs, encrypted.tag_version)

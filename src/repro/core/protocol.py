@@ -24,10 +24,11 @@ verification detects it.  Applications are expected to budget
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..crypto import limb_field
 from ..crypto.tweaked import TweakedCipher
 from ..errors import VerificationError
 from .checksum import LinearChecksum, MultiPointChecksum
@@ -120,7 +121,11 @@ class UntrustedNdpDevice:
         if enc.tags is None:
             raise ValueError(f"matrix {name!r} stored without tags")
         tag_values = [enc.tags[int(i)] for i in rows]
-        result = self.field.dot([int(w) for w in weights], tag_values)
+        # Identical math to an unprotected NDP PU; the limb-vectorized
+        # dot only changes how fast the functional model computes it.
+        result = limb_field.field_dot(
+            self.field, [int(w) for w in weights], tag_values
+        )
         if self._tag_delta is not None:
             result = self.field.add(result, self._tag_delta)
         return result
@@ -247,6 +252,70 @@ class SecNDPProcessor:
             self._verify_row_sum(device, enc, name, rows, weights_ring, res)
         return WeightedSumResult(values=res, verified=verify)
 
+    def weighted_row_sum_batch(
+        self,
+        device: UntrustedNdpDevice,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+        verify: bool = True,
+    ) -> List[WeightedSumResult]:
+        """Alg. 4 + Alg. 5 for a whole batch of weighted-summation queries.
+
+        Functionally identical to calling :meth:`weighted_row_sum` per
+        query, but the processor-side pad regeneration — data OTPs *and*
+        tag pads — is amortized: pads are generated once for the union
+        of queried rows, then each query's share is a cheap gather + dot.
+        This is the shape of a DLRM inference batch, where consecutive
+        SLS queries hit overlapping hot rows.
+        """
+        if batch_weights is None:
+            batch_weights = [[1] * len(rows) for rows in batch_rows]
+        if len(batch_weights) != len(batch_rows):
+            raise ValueError("batch_rows and batch_weights must have equal length")
+        if not batch_rows:
+            return []
+        enc = device.stored(name)
+
+        all_rows = np.unique(
+            np.concatenate(
+                [np.asarray(rows, dtype=np.int64).reshape(-1) for rows in batch_rows]
+            )
+        )
+        row_pos = {int(r): k for k, r in enumerate(all_rows)}
+        # One pad sweep for the union of rows (the AES hot path).
+        pads = self.encryptor.pads_for_rows(enc, all_rows)
+        tag_pads = None
+        key = None
+        if verify:
+            if enc.tags is None or enc.checksum_version is None:
+                raise VerificationError(
+                    f"matrix {name!r} was encrypted without verification tags"
+                )
+            tag_pads = self.mac.tag_pads_for_rows(enc, all_rows)
+            key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
+
+        results: List[WeightedSumResult] = []
+        for rows, weights in zip(batch_rows, batch_weights):
+            weights_ring = self.ring.encode(np.asarray(weights))
+            c_res = device.weighted_row_sum(name, rows, weights_ring)
+            idx = [row_pos[int(i)] for i in rows]
+            e_res = self.ring.dot(weights_ring, pads[idx])
+            res = self.ring.add(c_res, e_res)
+            if verify:
+                self._verify_row_sum(
+                    device,
+                    enc,
+                    name,
+                    rows,
+                    weights_ring,
+                    res,
+                    key=key,
+                    tag_pads=[tag_pads[k] for k in idx],
+                )
+            results.append(WeightedSumResult(values=res, verified=verify))
+        return results
+
     def weighted_element_sum(
         self,
         device: UntrustedNdpDevice,
@@ -282,19 +351,25 @@ class SecNDPProcessor:
         rows: Sequence[int],
         weights_ring: np.ndarray,
         res: np.ndarray,
+        key=None,
+        tag_pads: Optional[list] = None,
     ) -> None:
         if enc.tags is None or enc.checksum_version is None:
             raise VerificationError(
                 f"matrix {name!r} was encrypted without verification tags"
             )
-        # Checksum of the reconstructed result (verification engine).
-        key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
-        t_res = self.checksum.result_tag([int(x) for x in res], key)
+        # Checksum of the reconstructed result (verification engine);
+        # the limb-vectorized path evaluates the whole Horner dot at once.
+        if key is None:
+            key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
+        t_res = self.checksum.result_tag(res, key)
 
-        # Tag pads for the queried rows (OTP side, E_{T_res}).
-        tag_pads = self.mac.tag_pads_for_rows(enc, rows)
+        # Tag pads for the queried rows (OTP side, E_{T_res}); batch
+        # callers pass them pre-generated for the union of rows.
+        if tag_pads is None:
+            tag_pads = self.mac.tag_pads_for_rows(enc, rows)
         weights_int = [int(w) for w in weights_ring]
-        e_t_res = self.field.dot(weights_int, tag_pads)
+        e_t_res = limb_field.field_dot(self.field, weights_int, tag_pads)
 
         # NDP tag share (C_{T_res}).
         c_t_res = device.weighted_tag_sum(name, rows, weights_int)

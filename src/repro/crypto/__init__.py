@@ -16,8 +16,10 @@ from .tweaked import (
     TweakedCipher,
 )
 from .otp import OtpGenerator
+from . import limb_field
 
 __all__ = [
+    "limb_field",
     "AES128",
     "BLOCK_BYTES",
     "KEY_BYTES",

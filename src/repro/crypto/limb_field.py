@@ -1,0 +1,406 @@
+"""Vectorized limb arithmetic in GF(2^127 - 1).
+
+The scalar :class:`~repro.crypto.prime_field.PrimeField` is exact and
+easy to audit, but every operation is one Python big-int op, so tagging
+or verifying a large matrix costs ``O(n*m)`` interpreted field
+operations — the dominant cost of functional-scale runs.  This module
+is the batched counterpart: field elements are decomposed into four
+32-bit limbs held in ``uint64`` lanes (shape ``(..., 4)``, little-endian
+limb order), and add/sub/mul/Horner/dot are NumPy sweeps over whole
+vectors of elements at once.
+
+Reduction uses the same shift-add Mersenne folding the paper cites for
+hardware (Sec. V-D, Bernstein's hash127): since ``2^127 ≡ 1 (mod q)``,
+the high part of any intermediate is folded back by addition —
+``v = (v & q) + (v >> 127)`` — never by division.  All outputs are
+canonical (in ``[0, q-1]``), bit-identical to the scalar field; the
+property tests in ``tests/test_limb_field.py`` pin this against
+:class:`PrimeField` and :func:`mersenne_reduce` on random and edge
+operands.
+
+Only the paper's default modulus ``q = 2^127 - 1`` is supported;
+callers dispatch via :func:`supports_field` and fall back to the scalar
+oracle for the small test primes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .prime_field import MERSENNE_127, PrimeField
+
+__all__ = [
+    "LIMB_BITS",
+    "NUM_LIMBS",
+    "supports_field",
+    "to_limbs",
+    "from_limbs",
+    "add",
+    "sub",
+    "mul",
+    "fold",
+    "horner",
+    "horner_checksum",
+    "dot",
+    "power_weights",
+    "weighted_row_tags",
+    "dot_ints",
+    "field_dot",
+]
+
+#: Limbs are 32 bits wide, held in uint64 lanes so products of two limbs
+#: (and small sums of their halves) never overflow the lane.
+LIMB_BITS = 32
+#: 4 x 32 = 128 bits of storage for 127-bit canonical values.
+NUM_LIMBS = 4
+
+_MASK = np.uint64(0xFFFFFFFF)
+_TOP_MASK = np.uint64(0x7FFFFFFF)  # high limb of a canonical value (31 bits)
+_U1 = np.uint64(1)
+_U31 = np.uint64(31)
+_U32 = np.uint64(32)
+
+#: q = 2^127 - 1 as limbs.
+_Q_LIMBS = np.array(
+    [0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF, 0x7FFFFFFF], dtype=np.uint64
+)
+
+# Keep the accumulated-columns invariant: every intermediate column value
+# stays far below 2^63, so uint64 sums over the batch axis are exact as
+# long as batches stay under _MAX_SUM_TERMS items.
+_MAX_SUM_TERMS = 1 << 28
+
+
+def supports_field(field: PrimeField) -> bool:
+    """True when ``field`` is the paper's default GF(2^127 - 1)."""
+    return field.modulus == MERSENNE_127
+
+
+# ---------------------------------------------------------------------------
+# Conversion (boundary code: Python ints <-> limb arrays).
+# ---------------------------------------------------------------------------
+
+
+def to_limbs(values: Iterable[int] | int) -> np.ndarray:
+    """Decompose integers into canonical ``(..., 4)`` limb arrays.
+
+    Accepts a single int or an iterable; arbitrary non-negative or
+    negative inputs are reduced into ``[0, q-1]`` first (scalar
+    reduction — conversion is boundary code, the hot loops stay in limb
+    space).
+    """
+    scalar = isinstance(values, (int, np.integer))
+    vals = [int(values)] if scalar else [int(v) for v in values]
+    out = np.zeros((len(vals), NUM_LIMBS), dtype=np.uint64)
+    for row, v in enumerate(vals):
+        if not 0 <= v < MERSENNE_127:
+            v %= MERSENNE_127
+        out[row, 0] = v & 0xFFFFFFFF
+        out[row, 1] = (v >> 32) & 0xFFFFFFFF
+        out[row, 2] = (v >> 64) & 0xFFFFFFFF
+        out[row, 3] = v >> 96
+    return out[0] if scalar else out
+
+
+def from_limbs(limbs: np.ndarray) -> List[int] | int:
+    """Inverse of :func:`to_limbs`; returns int(s) in ``[0, q-1]``."""
+    arr = np.asarray(limbs, dtype=np.uint64)
+    scalar = arr.ndim == 1
+    arr = arr.reshape(-1, NUM_LIMBS)
+    # One C-level int.from_bytes per element beats per-limb shift/or chains.
+    buf = arr.astype("<u4").tobytes()
+    out = [
+        int.from_bytes(buf[16 * i : 16 * i + 16], "little")
+        for i in range(arr.shape[0])
+    ]
+    return out[0] if scalar else out
+
+
+# ---------------------------------------------------------------------------
+# Reduction: shift-add Mersenne folding on limb columns.
+# ---------------------------------------------------------------------------
+
+
+def _carry_normalize(cols: np.ndarray) -> np.ndarray:
+    """Propagate carries so every limb is < 2^32.
+
+    ``cols`` holds accumulated column values (limb ``k`` weighted by
+    ``2^(32k)``), each far below 2^63, so a single left-to-right pass
+    with two extra output limbs absorbs all carries exactly.
+    """
+    k_in = cols.shape[-1]
+    out = np.zeros(cols.shape[:-1] + (k_in + 2,), dtype=np.uint64)
+    carry = np.zeros(cols.shape[:-1], dtype=np.uint64)
+    for k in range(k_in):
+        t = cols[..., k] + carry
+        out[..., k] = t & _MASK
+        carry = t >> _U32
+    out[..., k_in] = carry & _MASK
+    out[..., k_in + 1] = carry >> _U32
+    return out
+
+
+def _fold_once(limbs: np.ndarray) -> np.ndarray:
+    """One shift-add fold: ``v -> (v & q) + (v >> 127)`` on 32-bit limbs.
+
+    Input must be carry-normalized.  Output is carry-normalized with
+    ``max(4, K-3) + 2`` limbs; repeated application converges to a value
+    ``<= q`` because each fold removes ~127 bits.
+    """
+    k_in = limbs.shape[-1]
+    lo = np.zeros(limbs.shape[:-1] + (NUM_LIMBS,), dtype=np.uint64)
+    lo[..., : min(k_in, NUM_LIMBS)] = limbs[..., : min(k_in, NUM_LIMBS)]
+    if k_in >= NUM_LIMBS:
+        lo[..., 3] &= _TOP_MASK
+    n_hi = max(k_in - 3, 1)
+    width = max(NUM_LIMBS, n_hi)
+    cols = np.zeros(limbs.shape[:-1] + (width,), dtype=np.uint64)
+    cols[..., :NUM_LIMBS] += lo
+    # hi limb k = bits [127 + 32k, 127 + 32(k+1)) of the input.
+    for k in range(n_hi):
+        hi_k = np.zeros(limbs.shape[:-1], dtype=np.uint64)
+        if 3 + k < k_in:
+            hi_k |= limbs[..., 3 + k] >> _U31
+        if 4 + k < k_in:
+            hi_k |= (limbs[..., 4 + k] << _U1) & _MASK
+        cols[..., k] += hi_k
+    return _carry_normalize(cols)
+
+
+def _canonicalize(limbs: np.ndarray) -> np.ndarray:
+    """Fold until 127 bits, then map the fixed point ``q`` to 0."""
+    while limbs.shape[-1] > NUM_LIMBS:
+        if not np.any(limbs[..., NUM_LIMBS:]):
+            limbs = limbs[..., :NUM_LIMBS]
+            break
+        limbs = _fold_once(limbs)
+    while np.any(limbs[..., 3] > _TOP_MASK):
+        limbs = _fold_once(limbs)[..., :NUM_LIMBS]
+    # v == q is a fixed point of the fold; canonical form is 0.
+    is_q = (
+        (limbs[..., 0] == _MASK)
+        & (limbs[..., 1] == _MASK)
+        & (limbs[..., 2] == _MASK)
+        & (limbs[..., 3] == _TOP_MASK)
+    )
+    if np.any(is_q):
+        limbs = limbs.copy()
+        limbs[is_q] = 0
+    return np.ascontiguousarray(limbs)
+
+
+def _reduce_columns(cols: np.ndarray) -> np.ndarray:
+    """Carry-normalize accumulated columns, then fold to canonical form."""
+    return _canonicalize(_carry_normalize(cols))
+
+
+def fold(values: np.ndarray) -> np.ndarray:
+    """Public entry: reduce unnormalized limb columns to canonical limbs.
+
+    ``values`` is any ``(..., K)`` uint64 array whose semantic value is
+    ``sum_k values[k] * 2^(32k)`` with every column below 2^63.  Mirrors
+    :func:`~repro.crypto.prime_field.mersenne_reduce` for bits=127.
+    """
+    return _reduce_columns(np.asarray(values, dtype=np.uint64))
+
+
+# ---------------------------------------------------------------------------
+# Field operations on canonical limb arrays.
+# ---------------------------------------------------------------------------
+
+
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a + b mod q``, elementwise over broadcastable limb arrays."""
+    return _reduce_columns(
+        np.asarray(a, dtype=np.uint64) + np.asarray(b, dtype=np.uint64)
+    )
+
+
+def sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a - b mod q``.
+
+    Canonical ``b`` never exceeds ``q`` limb-wise, so ``q - b`` is
+    borrow-free and the subtraction becomes ``a + (q - b)``.
+    """
+    comp = _Q_LIMBS - np.asarray(b, dtype=np.uint64)
+    return _reduce_columns(np.asarray(a, dtype=np.uint64) + comp)
+
+
+def mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a * b mod q`` via 4x4 schoolbook limb products.
+
+    Each 32x32-bit partial product is split into its 64-bit low/high
+    halves; a product column accumulates at most 8 half-terms, staying
+    below 2^35 — comfortably inside the uint64 lanes.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    shape = np.broadcast_shapes(a.shape[:-1], b.shape[:-1])
+    cols = np.zeros(shape + (2 * NUM_LIMBS,), dtype=np.uint64)
+    for i in range(NUM_LIMBS):
+        for j in range(NUM_LIMBS):
+            p = a[..., i] * b[..., j]
+            cols[..., i + j] += p & _MASK
+            cols[..., i + j + 1] += p >> _U32
+    return _reduce_columns(cols)
+
+
+# ---------------------------------------------------------------------------
+# Checksum / dot kernels (the protocol hot paths).
+# ---------------------------------------------------------------------------
+
+
+def _coeff_halves(coeffs: np.ndarray) -> tuple:
+    """Split ring residues (< 2^64) into 32-bit low/high halves."""
+    c = np.asarray(coeffs, dtype=np.uint64)
+    return c & _MASK, c >> _U32
+
+
+def horner(matrix: np.ndarray, s_limbs: np.ndarray) -> np.ndarray:
+    """Row-wise Horner evaluation ``sum_j M[i, j] * s^(m-1-j) mod q``.
+
+    One vectorized mul-add per column, all rows advancing in lockstep —
+    the limb-space mirror of :meth:`PrimeField.checksum_poly`.  ``matrix``
+    holds ring residues (< 2^64) as uint64; returns ``(n, 4)`` limbs.
+    """
+    m_lo, m_hi = _coeff_halves(matrix)
+    n = m_lo.shape[0]
+    acc = np.zeros((n, NUM_LIMBS), dtype=np.uint64)
+    for j in range(m_lo.shape[1]):
+        cols = np.zeros((n, 2 * NUM_LIMBS), dtype=np.uint64)
+        for i in range(NUM_LIMBS):
+            for k in range(NUM_LIMBS):
+                p = acc[..., i] * s_limbs[..., k]
+                cols[..., i + k] += p & _MASK
+                cols[..., i + k + 1] += p >> _U32
+        cols[..., 0] += m_lo[:, j]
+        cols[..., 1] += m_hi[:, j]
+        acc = _reduce_columns(cols)
+    return acc
+
+
+def horner_checksum(matrix: np.ndarray, s: int) -> np.ndarray:
+    """Alg. 2 row tags ``sum_j M[i, j] * s^(m-j)``: Horner, then one mul by s."""
+    s_limbs = to_limbs(s)
+    return mul(horner(matrix, s_limbs), s_limbs)
+
+
+def power_weights(field: PrimeField, s: int, m: int) -> np.ndarray:
+    """Limb array of ``[s^m, s^(m-1), ..., s^1]`` — Alg. 2 column weights.
+
+    The ``m`` scalar multiplications here are a one-off per (matrix, key)
+    and amortize over all ``n`` rows of the vectorized tag sweep.
+    """
+    powers = [0] * m
+    acc = 1
+    for e in range(1, m + 1):
+        acc = field.mul(acc, s)
+        powers[m - e] = acc
+    return to_limbs(powers)
+
+
+def _dot_columns(coeffs: np.ndarray, weight_limbs: np.ndarray) -> np.ndarray:
+    """Accumulated product columns of ``sum_j coeffs[..., j] * W[j]``.
+
+    ``coeffs``: ``(..., m)`` uint64 ring residues; ``weight_limbs``:
+    ``(m, 4)`` canonical limbs.  Returns unreduced ``(..., 7)`` columns.
+    Each of the 8 partial-product half-terms is summed over ``m`` in
+    uint64; with halves < 2^32 the column totals stay below ``m * 2^34``.
+    """
+    c = np.asarray(coeffs, dtype=np.uint64)
+    m = weight_limbs.shape[0]
+    if m != c.shape[-1]:
+        raise ValueError("coefficient and weight lengths differ")
+    if m >= _MAX_SUM_TERMS:
+        raise ValueError("dot length too large for exact uint64 accumulation")
+    cols = np.zeros(c.shape[:-1] + (2 * NUM_LIMBS - 1,), dtype=np.uint64)
+    c_max = int(c.max()) if c.size else 0
+    if c_max * m < (1 << 31):
+        # Small residues (e.g. 8-bit quantized tables): each product
+        # coeff * limb is < 2^63 / m, so whole products sum exactly
+        # without splitting into halves — 4 kernels instead of 16.
+        for k in range(NUM_LIMBS):
+            cols[..., k] += (c * weight_limbs[:, k]).sum(axis=-1)
+        return cols
+    c_lo, c_hi = _coeff_halves(c)
+    small = c_max < (1 << 32)  # high halves all zero: skip that sweep
+    for k in range(NUM_LIMBS):
+        wk = weight_limbs[:, k]
+        p = c_lo * wk
+        cols[..., k] += (p & _MASK).sum(axis=-1)
+        cols[..., k + 1] += (p >> _U32).sum(axis=-1)
+        if not small:
+            p = c_hi * wk
+            cols[..., k + 1] += (p & _MASK).sum(axis=-1)
+            cols[..., k + 2] += (p >> _U32).sum(axis=-1)
+    return cols
+
+
+def dot(coeffs: np.ndarray, weight_limbs: np.ndarray) -> np.ndarray:
+    """``sum_j coeffs[..., j] * W[j] mod q`` -> canonical ``(..., 4)`` limbs.
+
+    This is the protocol's universal kernel: row tags are dots against
+    the power weights, and the Alg. 5 tag-side sums (``a x C_T``,
+    ``a x E_T``) are dots of ring weights against tag vectors.
+    """
+    return _reduce_columns(_dot_columns(coeffs, weight_limbs))
+
+
+def weighted_row_tags(
+    matrix: np.ndarray, weight_limbs: np.ndarray, row_chunk: int = 0
+) -> List[int]:
+    """All row tags ``sum_j M[i, j] * W[j] mod q`` in one vectorized sweep.
+
+    ``matrix`` is ``(n, m)`` non-negative residues (any integer dtype
+    < 2^64); chunking bounds the temporary product arrays to a few
+    megabytes regardless of ``n * m``.
+    """
+    matrix = np.asarray(matrix)
+    n, m = matrix.shape
+    if row_chunk <= 0:
+        # ~ (1 << 21) uint64 temporaries (16 MiB) per kernel invocation.
+        row_chunk = max(1, (1 << 21) // max(m, 1))
+    tags: List[int] = []
+    for start in range(0, n, row_chunk):
+        limbs = dot(matrix[start : start + row_chunk], weight_limbs)
+        chunk = from_limbs(limbs)
+        tags.extend(chunk if isinstance(chunk, list) else [chunk])
+    return tags
+
+
+def dot_ints(weights: Sequence[int], values: Sequence[int]) -> int:
+    """Scalar-in/scalar-out vectorized dot ``sum_k w_k * v_k mod q``.
+
+    ``weights`` must be ring residues (< 2^64, the protocol invariant for
+    ``a``); ``values`` may be any field elements.  Used by the Alg. 5
+    verification dots in place of the interpreted ``PrimeField.dot``.
+    """
+    if len(weights) != len(values):
+        raise ValueError("weights and values must have equal length")
+    if not weights:
+        return 0
+    w = np.asarray([int(w) for w in weights], dtype=np.uint64)
+    v_limbs = to_limbs(values)
+    # dot() contracts the last axis of the coefficient array with the
+    # weight rows; here the "coefficients" are the ring weights.
+    return int(from_limbs(dot(w[None, :], v_limbs))[0])
+
+
+def field_dot(field: PrimeField, weights: Sequence[int], values: Sequence[int]) -> int:
+    """Dispatching dot: limb-vectorized for GF(2^127 - 1), scalar otherwise.
+
+    Falls back to the :class:`PrimeField` oracle when the modulus is not
+    the paper's Mersenne prime (the small test primes) or when a weight
+    falls outside the uint64 ring-residue range the kernel assumes.
+    """
+    ws = [int(w) for w in weights]
+    if (
+        supports_field(field)
+        and ws
+        and min(ws) >= 0
+        and max(ws) < (1 << 64)
+    ):
+        return dot_ints(ws, list(values))
+    return field.dot(ws, [int(v) for v in values])

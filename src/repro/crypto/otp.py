@@ -9,9 +9,19 @@ This module produces exactly those pad elements, both for whole
 matrices (bulk encryption, Alg. 1) and for scattered single elements
 (Alg. 4 lines 8-12, where the processor regenerates only the pads of the
 elements that participate in a weighted summation).
+
+Hot-path note: scattered queries touch many elements that share a cipher
+block (``l`` adjacent elements per block), so :meth:`pad_elements_at`
+deduplicates block addresses before invoking AES and keeps a small
+per-(version, address) LRU of recently generated pad blocks.  Pads are a
+pure function of ``(K, version, address)``, so caching is semantically
+invisible; repeated SLS queries over hot embedding rows skip the cipher
+entirely.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -20,6 +30,10 @@ from .ring import Ring
 from .tweaked import DOMAIN_DATA, TweakedCipher
 
 __all__ = ["OtpGenerator"]
+
+#: Default LRU capacity in cipher blocks (16 B of pad each); at the
+#: default 4096 blocks the cache tops out well under 1 MiB.
+DEFAULT_CACHE_BLOCKS = 4096
 
 
 class OtpGenerator:
@@ -32,19 +46,81 @@ class OtpGenerator:
     ring:
         Element ring ``Z(2^w_e)``; determines how each 128-bit pad block is
         sliced into elements (``l = w_c / w_e`` per block).
+    cache_blocks:
+        Capacity of the block-pad LRU (0 disables caching).
     """
 
-    def __init__(self, cipher: TweakedCipher, ring: Ring):
+    def __init__(
+        self, cipher: TweakedCipher, ring: Ring, cache_blocks: int = DEFAULT_CACHE_BLOCKS
+    ):
         self.cipher = cipher
         self.ring = ring
         self.elements_per_block = BLOCK_BYTES * 8 // ring.width
+        self.cache_blocks = cache_blocks
+        self._block_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- block-level pad generation -------------------------------------------
+
+    def _encrypt_blocks(self, block_addrs: np.ndarray, version: int) -> np.ndarray:
+        """Pad rows ``(len(block_addrs), l)`` straight from the cipher."""
+        pads = self.cipher.encrypt_counters(DOMAIN_DATA, block_addrs, version)
+        return self.ring.from_bytes(pads).reshape(
+            len(block_addrs), self.elements_per_block
+        )
+
+    def _pads_for_blocks(self, block_addrs: np.ndarray, version: int) -> np.ndarray:
+        """Like :meth:`_encrypt_blocks` but served through the LRU.
+
+        Callers pass *deduplicated* block addresses; only cache misses
+        reach the cipher, in one vectorized sweep.
+        """
+        if not self.cache_blocks:
+            return self._encrypt_blocks(block_addrs, version)
+        out = np.empty(
+            (len(block_addrs), self.elements_per_block), dtype=self.ring.dtype
+        )
+        cache = self._block_cache
+        missing: list = []
+        missing_pos: list = []
+        for pos, addr in enumerate(block_addrs.tolist()):
+            key = (version, addr)
+            row = cache.get(key)
+            if row is None:
+                missing.append(addr)
+                missing_pos.append(pos)
+            else:
+                cache.move_to_end(key)
+                out[pos] = row
+        self.cache_hits += len(block_addrs) - len(missing)
+        self.cache_misses += len(missing)
+        if missing:
+            rows = self._encrypt_blocks(
+                np.asarray(missing, dtype=np.uint64), version
+            )
+            for k, pos in enumerate(missing_pos):
+                out[pos] = rows[k]
+                cache[(version, missing[k])] = rows[k].copy()
+            while len(cache) > self.cache_blocks:
+                cache.popitem(last=False)
+        return out
+
+    def clear_cache(self) -> None:
+        self._block_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- element-level pad generation -----------------------------------------
 
     def pad_elements(self, base_addr: int, count: int, version: int) -> np.ndarray:
         """OTP elements covering ``count`` consecutive elements at ``base_addr``.
 
         ``base_addr`` is a byte address and must be aligned to the cipher
         block size, matching Alg. 1 where chunk ``i`` lives at
-        ``Addr + i * (w_c / 8)``.
+        ``Addr + i * (w_c / 8)``.  Bulk generation bypasses the LRU: the
+        addresses are distinct by construction and a whole-matrix sweep
+        would only evict the hot query blocks.
         """
         if base_addr % BLOCK_BYTES:
             raise ValueError(
@@ -72,22 +148,29 @@ class OtpGenerator:
             )
         block_addr = (elem_byte_addr // BLOCK_BYTES) * BLOCK_BYTES
         idx = (elem_byte_addr % BLOCK_BYTES) // elem_bytes
-        pad = self.cipher.encrypt_counter(DOMAIN_DATA, block_addr, version)
-        pad_elems = self.ring.from_bytes(np.frombuffer(pad, dtype=np.uint8))
-        return int(pad_elems[idx])
+        row = self._pads_for_blocks(
+            np.asarray([block_addr], dtype=np.uint64), version
+        )[0]
+        return int(row[idx])
 
     def pad_elements_at(
         self, elem_byte_addrs: np.ndarray, version: int
     ) -> np.ndarray:
-        """Vectorised :meth:`pad_element_at` for scattered element addresses."""
+        """Vectorised :meth:`pad_element_at` for scattered element addresses.
+
+        Adjacent elements share cipher blocks (``l`` per block), so the
+        block addresses are deduplicated before encryption: a pooled SLS
+        query over contiguous rows pays one AES call per *block* touched,
+        not one per element, and hot blocks come from the LRU for free.
+        """
         addrs = np.asarray(elem_byte_addrs, dtype=np.uint64)
         elem_bytes = self.ring.width // 8
         if addrs.size and int(np.max(addrs % elem_bytes)):
             raise ValueError("element addresses must be element-aligned")
+        if addrs.size == 0:
+            return np.empty(0, dtype=self.ring.dtype)
         block_addrs = (addrs // BLOCK_BYTES) * BLOCK_BYTES
         idx = ((addrs % BLOCK_BYTES) // elem_bytes).astype(np.intp)
-        pads = self.cipher.encrypt_counters(DOMAIN_DATA, block_addrs, version)
-        pad_elems = pads.reshape(-1).view(self.ring.dtype).reshape(
-            len(addrs), self.elements_per_block
-        )
-        return pad_elems[np.arange(len(addrs)), idx]
+        unique_blocks, inverse = np.unique(block_addrs, return_inverse=True)
+        pad_rows = self._pads_for_blocks(unique_blocks, version)
+        return pad_rows[inverse, idx]

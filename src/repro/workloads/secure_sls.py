@@ -211,18 +211,64 @@ class SecureEmbeddingStore:
             )
         return total
 
+    def sls_many(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+    ) -> np.ndarray:
+        """Batched verified SLS: pooled vectors for many queries at once.
+
+        Semantically identical to calling :meth:`sls` per query (same
+        overflow budgeting, same verification, same affine correction),
+        but OTP and tag-pad regeneration is amortized over the union of
+        rows the batch touches via
+        :meth:`SecNDPProcessor.weighted_row_sum_batch` — the DLRM
+        inference-batch hot path.
+        """
+        entry = self._tables[name]
+        rows_list = [list(rows) for rows in batch_rows]
+        if batch_weights is None:
+            weights_list = [[1] * len(rows) for rows in rows_list]
+        else:
+            if len(batch_weights) != len(rows_list):
+                raise ConfigurationError(
+                    "batch_rows and batch_weights must have equal length"
+                )
+            weights_list = [[int(w) for w in ws] for ws in batch_weights]
+        for rows, weights in zip(rows_list, weights_list):
+            if any(w < 0 for w in weights):
+                raise ConfigurationError("weights must be non-negative integers")
+            if len(weights) != len(rows):
+                raise ConfigurationError("rows and weights must have equal length")
+            max_w = max(weights, default=1)
+            if len(rows) > self.max_pooling_factor(name, max_w):
+                raise ConfigurationError(
+                    f"pooling factor {len(rows)} with max weight {max_w} may "
+                    f"overflow Z(2^{self.processor.params.element_bits}) for "
+                    f"table {name!r}; split the query"
+                )
+        results = self.processor.weighted_row_sum_batch(
+            self.device, name, rows_list, weights_list, verify=self.verify
+        )
+        out = np.zeros((len(rows_list), entry.dim))
+        for i, (result, weights) in enumerate(zip(results, weights_list)):
+            pooled_q = result.values.astype(np.float64)[: entry.dim]
+            out[i] = pooled_q * entry.scale + entry.bias * float(sum(weights))
+        return out
+
     def sls_batch(
         self,
         name: str,
         batch_rows: Sequence[Sequence[int]],
         batch_weights: Optional[Sequence[Sequence[int]]] = None,
     ) -> np.ndarray:
-        """Pooled vectors for a batch of queries -> (batch, dim)."""
-        out = np.zeros((len(batch_rows), self._tables[name].dim))
-        for i, rows in enumerate(batch_rows):
-            weights = batch_weights[i] if batch_weights is not None else None
-            out[i] = self.sls(name, rows, weights)
-        return out
+        """Pooled vectors for a batch of queries -> (batch, dim).
+
+        Kept as the historical name; delegates to the amortized
+        :meth:`sls_many` path.
+        """
+        return self.sls_many(name, batch_rows, batch_weights)
 
     # -- reference ---------------------------------------------------------------------
 

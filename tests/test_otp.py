@@ -78,3 +78,73 @@ class TestScatteredPads:
     def test_8bit_any_byte_address_ok(self, gen8):
         # 1-byte elements are always aligned.
         assert isinstance(gen8.pad_element_at(0x1003, 0), int)
+
+    def test_empty_scatter(self, gen32):
+        assert gen32.pad_elements_at(np.array([], dtype=np.uint64), 0).size == 0
+
+
+class TestBlockDedupeAndCache:
+    """pad_elements_at dedupes shared cipher blocks and caches pad blocks."""
+
+    def test_duplicate_blocks_encrypt_once(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING32)
+        # 8 elements spanning exactly 2 distinct blocks (4 elements each).
+        addrs = np.arange(8, dtype=np.uint64) * 4 + 0x1000
+        gen.pad_elements_at(addrs, 0)
+        assert gen.cache_misses == 2
+        assert gen.cache_hits == 0
+
+    def test_repeat_query_hits_cache(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING32)
+        addrs = np.arange(8, dtype=np.uint64) * 4 + 0x1000
+        gen.pad_elements_at(addrs, 0)
+        before = gen.cache_misses
+        out = gen.pad_elements_at(addrs, 0)
+        assert gen.cache_misses == before  # fully served from cache
+        assert gen.cache_hits >= 2
+        # Cached results are still bit-identical to direct generation.
+        fresh = OtpGenerator(TweakedCipher(KEY), RING32, cache_blocks=0)
+        assert np.array_equal(out, fresh.pad_elements_at(addrs, 0))
+
+    def test_version_keys_cache_entries(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING32)
+        addrs = np.array([0x1000], dtype=np.uint64)
+        a = gen.pad_elements_at(addrs, 0)
+        b = gen.pad_elements_at(addrs, 1)
+        assert gen.cache_misses == 2  # same address, distinct versions
+        assert not np.array_equal(a, b)
+
+    def test_cache_disabled(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING32, cache_blocks=0)
+        addrs = np.array([0x1000, 0x1004], dtype=np.uint64)
+        ref = OtpGenerator(TweakedCipher(KEY), RING32)
+        assert np.array_equal(
+            gen.pad_elements_at(addrs, 0), ref.pad_elements_at(addrs, 0)
+        )
+        assert gen.cache_hits == 0 and gen.cache_misses == 0
+
+    def test_lru_eviction_bounds_cache(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING32, cache_blocks=2)
+        for block in range(5):
+            gen.pad_elements_at(
+                np.array([0x1000 + 16 * block], dtype=np.uint64), 0
+            )
+        assert len(gen._block_cache) == 2
+
+    def test_clear_cache(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING32)
+        gen.pad_elements_at(np.array([0x1000], dtype=np.uint64), 0)
+        gen.clear_cache()
+        assert len(gen._block_cache) == 0
+        assert gen.cache_hits == 0 and gen.cache_misses == 0
+
+    def test_scatter_still_matches_bulk_with_cache(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING8)
+        bulk = gen.pad_elements(0x2000, 48, 4)
+        addrs = 0x2000 + np.arange(48, dtype=np.uint64)
+        # Prime the cache, then query again out of order with duplicates.
+        gen.pad_elements_at(addrs, 4)
+        shuffled = np.concatenate([addrs[::-1], addrs[:7]])
+        out = gen.pad_elements_at(shuffled, 4)
+        expected = np.concatenate([bulk[::-1], bulk[:7]])
+        assert np.array_equal(out, expected)
