@@ -1,0 +1,113 @@
+"""Overhead guard: fail if the metrics-off hot paths regressed.
+
+Re-runs the ``bench_hotpaths`` sections (metrics disabled — the
+production default) and compares total wall time against the
+``wall_seconds`` recorded for the same scale in the committed
+``BENCH_hotpaths.json``.  A regression beyond the tolerance (default
+10%) exits non-zero, so CI catches instrumentation that leaks cost into
+disabled runs.
+
+Also reports the metrics-ON wall time of the same sections, so the
+enabled-mode overhead stays visible in CI logs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_overhead.py \
+        [--baseline BENCH_hotpaths.json] [--scale smoke] [--tolerance 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+sys.path.insert(0, str(_REPO / "benchmarks"))
+
+from repro import obs  # noqa: E402
+from bench_hotpaths import (  # noqa: E402
+    _SIZES,
+    _bench_matrix_tags,
+    _bench_otp,
+    _bench_sls,
+)
+
+
+def _run_sections(sizes) -> float:
+    start = time.perf_counter()
+    _bench_matrix_tags(sizes)
+    _bench_otp(sizes)
+    _bench_sls(sizes)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(_REPO / "BENCH_hotpaths.json"),
+        help="committed benchmark trajectory file (default: repo root)",
+    )
+    parser.add_argument("--scale", default="smoke", choices=sorted(_SIZES))
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional regression vs the recorded wall time",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = _SIZES[args.scale]
+
+    obs.disable()
+    measured = _run_sections(sizes)
+
+    obs.get_registry().reset()
+    obs.enable()
+    try:
+        enabled_wall = _run_sections(sizes)
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+    ratio = enabled_wall / measured if measured else float("inf")
+    print(
+        f"metrics-off wall: {measured:.3f}s; metrics-on wall: "
+        f"{enabled_wall:.3f}s ({(ratio - 1) * 100:+.1f}% when enabled)"
+    )
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    try:
+        recorded = json.loads(baseline_path.read_text())
+    except ValueError:
+        print(f"unreadable baseline {baseline_path}; skipping regression check")
+        return 0
+    entry = recorded.get(args.scale, {})
+    baseline_wall = entry.get("wall_seconds")
+    if baseline_wall is None:
+        print(
+            f"baseline has no wall_seconds for scale {args.scale!r}; "
+            "skipping regression check"
+        )
+        return 0
+
+    limit = baseline_wall * (1.0 + args.tolerance)
+    print(
+        f"baseline wall ({args.scale}): {baseline_wall:.3f}s; "
+        f"limit: {limit:.3f}s"
+    )
+    if measured > limit:
+        print(
+            f"FAIL: metrics-off wall time {measured:.3f}s exceeds "
+            f"{limit:.3f}s (baseline +{args.tolerance:.0%})"
+        )
+        return 1
+    print("OK: metrics-off wall time within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ A from-scratch Python reproduction of the complete SecNDP system:
 * :mod:`repro.baselines` - non-NDP, TEE, SGX and unprotected NDP.
 * :mod:`repro.analysis` - energy (Table V), area, accuracy (Table IV).
 * :mod:`repro.harness` - per-table / per-figure experiment drivers.
+* :mod:`repro.obs` - metrics registry + phase tracing across all layers.
 
 Quickstart::
 
@@ -35,7 +36,7 @@ Quickstart::
     )
 """
 
-from . import analysis, baselines, core, crypto, harness, memsim, ndp, workloads
+from . import analysis, baselines, core, crypto, harness, memsim, ndp, obs, workloads
 from .errors import (
     ConfigurationError,
     SecNDPError,
@@ -54,6 +55,7 @@ __all__ = [
     "harness",
     "memsim",
     "ndp",
+    "obs",
     "workloads",
     "ConfigurationError",
     "SecNDPError",

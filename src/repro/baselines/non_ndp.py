@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..memsim.dram import DramSystem
 from ..memsim.timing import DDR4Timing, DramGeometry
 from ..ndp.packets import NdpWorkload
@@ -76,6 +77,9 @@ def run_non_ndp(
                 completion = max(completion, res.completion_cycle)
                 total_lines += 1
     total_ns = timing.cycles_to_ns(completion)
+    if obs.enabled():
+        obs.inc("baseline.lines", total_lines)
+        dram.counters.publish()
     return NonNdpResult(
         total_ns=total_ns,
         total_lines=total_lines,

@@ -6,9 +6,16 @@ Usage::
     python -m repro table3 [--scale smoke|default|paper]
     python -m repro fig7 --scale default
     python -m repro all --scale smoke
+    python -m repro table3 --scale smoke --stats --trace trace.json
 
 Each experiment prints the same rows/series the paper reports (see
-DESIGN.md Sec. 4 for the experiment index).
+DESIGN.md Sec. 4 for the experiment index).  ``--stats`` prints the
+observability registry snapshot after the run and ``--trace PATH``
+writes a Chrome/Perfetto trace of the phase spans (DESIGN.md Sec. 9).
+
+Unknown experiment names and invalid scales exit with status 2 and a
+one-line error, so shell scripts and CI steps fail fast without a
+traceback.
 """
 
 from __future__ import annotations
@@ -16,10 +23,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Dict
 
+from . import obs
 from .harness.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
-from .harness.export import export_results
 from .harness.experiments import (
     run_figure7,
     run_figure8,
@@ -30,6 +37,8 @@ from .harness.experiments import (
     run_table4,
     run_table5,
 )
+from .harness.experiments.common import run_functional_shadow
+from .harness.export import export_results
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -81,16 +90,16 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SecNDP (HPCA 2022) reproduction - experiment runner",
     )
+    # Experiment and scale are validated by hand in main() so that typos
+    # produce a one-line error + exit code 2 instead of a traceback.
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
         help="experiment to run ('list' to enumerate, 'all' for everything)",
     )
     parser.add_argument(
         "--scale",
-        choices=sorted(_SCALES),
         default="default",
-        help="experiment scale (default: %(default)s)",
+        help="experiment scale: smoke | default | paper (default: %(default)s)",
     )
     parser.add_argument(
         "--json",
@@ -98,7 +107,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the results as a JSON bundle to PATH",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect metrics during the run and print the registry snapshot",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome/Perfetto trace of the run's phase spans to PATH",
+    )
     return parser
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def main(argv=None) -> int:
@@ -109,20 +134,56 @@ def main(argv=None) -> int:
             print(f"  {name:8s} {description}")
         return 0
 
+    if args.experiment not in EXPERIMENTS and args.experiment != "all":
+        return _fail(
+            f"unknown experiment {args.experiment!r} "
+            f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, list)"
+        )
+    if args.scale not in _SCALES:
+        return _fail(
+            f"invalid scale {args.scale!r} "
+            f"(choose from: {', '.join(sorted(_SCALES))})"
+        )
+
+    collect = args.stats or args.trace is not None
+    was_enabled = obs.enabled()
+    was_tracing = obs.tracing_enabled()
+    if collect:
+        obs.enable()
+    if args.trace is not None:
+        obs.enable_tracing()
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     scale = _SCALES[args.scale]
     collected = {}
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        print(f"== {name}: {description} (scale={scale.name}) ==")
-        started = time.time()
-        result = runner(scale)
-        collected[name] = result
-        print(result.render())
-        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
-    if args.json:
-        path = export_results(collected, args.json)
-        print(f"results written to {path}")
+    try:
+        for name in names:
+            description, runner = EXPERIMENTS[name]
+            print(f"== {name}: {description} (scale={scale.name}) ==")
+            started = time.time()
+            with obs.span(f"experiment.{name}", cat="harness"):
+                result = runner(scale)
+            collected[name] = result
+            print(result.render())
+            print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+        if collect:
+            # The experiment drivers are timing models; one functional
+            # pass populates the crypto/protocol-layer counters too.
+            run_functional_shadow(scale)
+        if args.json:
+            path = export_results(collected, args.json)
+            print(f"results written to {path}")
+        if args.stats:
+            print("== metrics ==")
+            print(obs.format_snapshot(obs.snapshot()))
+        if args.trace is not None:
+            path = obs.write_trace(args.trace)
+            print(f"trace written to {path}")
+    finally:
+        if collect and not was_enabled:
+            obs.disable()
+        if args.trace is not None and not was_tracing:
+            obs.disable_tracing()
     return 0
 
 

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..crypto.aes import BLOCK_BYTES
 from ..crypto.prime_field import PrimeField
 from ..crypto.tweaked import DOMAIN_TAG, TweakedCipher
@@ -59,6 +60,7 @@ class EncryptedLinearMac:
         addrs = np.asarray(row_addrs, dtype=np.uint64)
         if addrs.size == 0:
             return []
+        obs.inc("mac.tag_pads", int(addrs.size))
         blocks = self.cipher.encrypt_counters(DOMAIN_TAG, addrs, version)
         shift = self.params.block_bits - self.params.tag_bits
         buf = blocks.tobytes()
@@ -94,11 +96,14 @@ class EncryptedLinearMac:
         if plaintext.shape != encrypted.ciphertext.shape:
             raise ValueError("plaintext/ciphertext shape mismatch")
         key = self.checksum.key_for(encrypted.base_addr, checksum_version)
-        tags = self.checksum.row_tags(plaintext, key)
+        obs.inc("mac.rows_tagged", int(encrypted.n_rows))
+        with obs.span("mac.tag_sweep"):
+            tags = self.checksum.row_tags(plaintext, key)
         row_addrs = encrypted.base_addr + np.arange(
             encrypted.n_rows, dtype=np.uint64
         ) * np.uint64(encrypted.row_bytes)
-        pads = self.tag_pads(row_addrs, tag_version)
+        with obs.span("mac.pad_sweep"):
+            pads = self.tag_pads(row_addrs, tag_version)
         sub = self.field.sub
         encrypted.tags = [sub(t, p) for t, p in zip(tags, pads)]
         encrypted.checksum_version = checksum_version

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..crypto import limb_field
 from ..crypto.tweaked import TweakedCipher
 from ..errors import VerificationError
@@ -211,12 +212,17 @@ class SecNDPProcessor:
         drawn for the three cipher domains, matching Alg. 1/2/3 each
         calling ``V()`` separately.
         """
+        obs.inc("protocol.matrices_encrypted")
         data_version = self.versions.fresh(f"{region}/data")
-        encrypted = self.encryptor.encrypt(plaintext, base_addr, data_version)
+        with obs.span("protocol.encrypt"):
+            encrypted = self.encryptor.encrypt(plaintext, base_addr, data_version)
         if with_tags:
             checksum_version = self.versions.fresh(f"{region}/checksum")
             tag_version = self.versions.fresh(f"{region}/tag")
-            self.mac.attach_tags(encrypted, plaintext, checksum_version, tag_version)
+            with obs.span("protocol.tag_attach"):
+                self.mac.attach_tags(
+                    encrypted, plaintext, checksum_version, tag_version
+                )
         return encrypted
 
     # -- queries (T1 in Fig. 4) -------------------------------------------------
@@ -235,21 +241,26 @@ class SecNDPProcessor:
         column ``j``, with optional tag verification.  This is exactly the
         SLS / pooling primitive the evaluation offloads to NDP.
         """
+        obs.inc("protocol.queries")
         weights_ring = self.ring.encode(np.asarray(weights))
         enc = device.stored(name)
 
         # NDP share: computed remotely over ciphertext.
-        c_res = device.weighted_row_sum(name, rows, weights_ring)
+        with obs.span("protocol.offload"):
+            c_res = device.weighted_row_sum(name, rows, weights_ring)
 
         # Processor share: same operation over regenerated pads (OTP PU).
-        pads = self.encryptor.pads_for_rows(enc, rows)
-        e_res = self.ring.dot(weights_ring, pads)
+        with obs.span("protocol.otp"):
+            pads = self.encryptor.pads_for_rows(enc, rows)
 
         # The one adder on the critical path (Sec. V-E3).
-        res = self.ring.add(c_res, e_res)
+        with obs.span("protocol.combine"):
+            e_res = self.ring.dot(weights_ring, pads)
+            res = self.ring.add(c_res, e_res)
 
         if verify:
-            self._verify_row_sum(device, enc, name, rows, weights_ring, res)
+            with obs.span("protocol.verify"):
+                self._verify_row_sum(device, enc, name, rows, weights_ring, res)
         return WeightedSumResult(values=res, verified=verify)
 
     def weighted_row_sum_batch(
@@ -282,9 +293,17 @@ class SecNDPProcessor:
                 [np.asarray(rows, dtype=np.int64).reshape(-1) for rows in batch_rows]
             )
         )
+        if obs.enabled():
+            obs.inc("protocol.batch.queries", len(batch_rows))
+            obs.inc(
+                "protocol.batch.rows_total",
+                int(sum(len(rows) for rows in batch_rows)),
+            )
+            obs.inc("protocol.batch.rows_unique", int(all_rows.size))
         row_pos = {int(r): k for k, r in enumerate(all_rows)}
         # One pad sweep for the union of rows (the AES hot path).
-        pads = self.encryptor.pads_for_rows(enc, all_rows)
+        with obs.span("protocol.otp"):
+            pads = self.encryptor.pads_for_rows(enc, all_rows)
         tag_pads = None
         key = None
         if verify:
@@ -292,27 +311,32 @@ class SecNDPProcessor:
                 raise VerificationError(
                     f"matrix {name!r} was encrypted without verification tags"
                 )
-            tag_pads = self.mac.tag_pads_for_rows(enc, all_rows)
+            with obs.span("protocol.otp"):
+                tag_pads = self.mac.tag_pads_for_rows(enc, all_rows)
             key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
 
         results: List[WeightedSumResult] = []
         for rows, weights in zip(batch_rows, batch_weights):
+            obs.inc("protocol.queries")
             weights_ring = self.ring.encode(np.asarray(weights))
-            c_res = device.weighted_row_sum(name, rows, weights_ring)
+            with obs.span("protocol.offload"):
+                c_res = device.weighted_row_sum(name, rows, weights_ring)
             idx = [row_pos[int(i)] for i in rows]
-            e_res = self.ring.dot(weights_ring, pads[idx])
-            res = self.ring.add(c_res, e_res)
+            with obs.span("protocol.combine"):
+                e_res = self.ring.dot(weights_ring, pads[idx])
+                res = self.ring.add(c_res, e_res)
             if verify:
-                self._verify_row_sum(
-                    device,
-                    enc,
-                    name,
-                    rows,
-                    weights_ring,
-                    res,
-                    key=key,
-                    tag_pads=[tag_pads[k] for k in idx],
-                )
+                with obs.span("protocol.verify"):
+                    self._verify_row_sum(
+                        device,
+                        enc,
+                        name,
+                        rows,
+                        weights_ring,
+                        res,
+                        key=key,
+                        tag_pads=[tag_pads[k] for k in idx],
+                    )
             results.append(WeightedSumResult(values=res, verified=verify))
         return results
 
@@ -376,6 +400,7 @@ class SecNDPProcessor:
 
         retrieved = self.field.add(c_t_res, e_t_res)
         if retrieved != t_res:
+            obs.inc("protocol.verify.failures")
             raise VerificationError(
                 f"tag mismatch for query on {name!r}: computed {t_res:#x}, "
                 f"retrieved {retrieved:#x} (tampering, replay, or ring overflow)"

@@ -29,6 +29,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from .. import obs
 from .prime_field import MERSENNE_127, PrimeField
 
 __all__ = [
@@ -321,11 +322,13 @@ def _dot_columns(coeffs: np.ndarray, weight_limbs: np.ndarray) -> np.ndarray:
         # Small residues (e.g. 8-bit quantized tables): each product
         # coeff * limb is < 2^63 / m, so whole products sum exactly
         # without splitting into halves — 4 kernels instead of 16.
+        obs.inc("limb.dot.tier1")
         for k in range(NUM_LIMBS):
             cols[..., k] += (c * weight_limbs[:, k]).sum(axis=-1)
         return cols
     c_lo, c_hi = _coeff_halves(c)
     small = c_max < (1 << 32)  # high halves all zero: skip that sweep
+    obs.inc("limb.dot.tier2" if small else "limb.dot.tier3")
     for k in range(NUM_LIMBS):
         wk = weight_limbs[:, k]
         p = c_lo * wk
@@ -403,4 +406,5 @@ def field_dot(field: PrimeField, weights: Sequence[int], values: Sequence[int]) 
         and max(ws) < (1 << 64)
     ):
         return dot_ints(ws, list(values))
+    obs.inc("limb.dot.fallback_scalar")
     return field.dot(ws, [int(v) for v in values])

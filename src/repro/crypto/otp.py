@@ -22,14 +22,26 @@ entirely.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import NamedTuple
 
 import numpy as np
 
+from .. import obs
 from .aes import BLOCK_BYTES
 from .ring import Ring
 from .tweaked import DOMAIN_DATA, TweakedCipher
 
-__all__ = ["OtpGenerator"]
+__all__ = ["OtpGenerator", "OtpCacheInfo"]
+
+
+class OtpCacheInfo(NamedTuple):
+    """Pad-block LRU statistics (mirrors ``functools.lru_cache.cache_info``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
 
 #: Default LRU capacity in cipher blocks (16 B of pad each); at the
 #: default 4096 blocks the cache tops out well under 1 MiB.
@@ -60,6 +72,7 @@ class OtpGenerator:
         self._block_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     # -- block-level pad generation -------------------------------------------
 
@@ -93,8 +106,12 @@ class OtpGenerator:
             else:
                 cache.move_to_end(key)
                 out[pos] = row
-        self.cache_hits += len(block_addrs) - len(missing)
+        hits = len(block_addrs) - len(missing)
+        self.cache_hits += hits
         self.cache_misses += len(missing)
+        if obs.enabled():
+            obs.inc("otp.cache.hit", hits)
+            obs.inc("otp.cache.miss", len(missing))
         if missing:
             rows = self._encrypt_blocks(
                 np.asarray(missing, dtype=np.uint64), version
@@ -102,14 +119,36 @@ class OtpGenerator:
             for k, pos in enumerate(missing_pos):
                 out[pos] = rows[k]
                 cache[(version, missing[k])] = rows[k].copy()
+            evicted = 0
             while len(cache) > self.cache_blocks:
                 cache.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.cache_evictions += evicted
+                obs.inc("otp.cache.eviction", evicted)
         return out
+
+    def cache_info(self) -> OtpCacheInfo:
+        """Current pad-block LRU statistics.
+
+        ``currsize`` is bounded by ``maxsize`` (the constructor's
+        ``cache_blocks``); once the workload's distinct-block footprint
+        exceeds the capacity, ``evictions`` starts counting and memory
+        stays flat.
+        """
+        return OtpCacheInfo(
+            hits=self.cache_hits,
+            misses=self.cache_misses,
+            evictions=self.cache_evictions,
+            currsize=len(self._block_cache),
+            maxsize=self.cache_blocks,
+        )
 
     def clear_cache(self) -> None:
         self._block_cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     # -- element-level pad generation -----------------------------------------
 
@@ -172,5 +211,8 @@ class OtpGenerator:
         block_addrs = (addrs // BLOCK_BYTES) * BLOCK_BYTES
         idx = ((addrs % BLOCK_BYTES) // elem_bytes).astype(np.intp)
         unique_blocks, inverse = np.unique(block_addrs, return_inverse=True)
+        if obs.enabled():
+            obs.inc("otp.elements", int(addrs.size))
+            obs.inc("otp.dedupe.saved_blocks", int(addrs.size - unique_blocks.size))
         pad_rows = self._pads_for_blocks(unique_blocks, version)
         return pad_rows[inverse, idx]

@@ -93,6 +93,10 @@ class MemoryController:
             # Refresh first: it may close the row this request would hit.
             t = rank.refresh_adjust(t)
         row_hit = bank.open_row == decoded.row
+        if row_hit:
+            self.counters.row_hits += 1
+        else:
+            self.counters.row_misses += 1
 
         if not row_hit:
             if bank.open_row is not None:

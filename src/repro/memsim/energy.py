@@ -14,7 +14,9 @@ recomputes the table from these plus counted events.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from .. import obs
 
 __all__ = ["EnergyParams", "EnergyCounters", "DDR4_ENERGY"]
 
@@ -49,13 +51,32 @@ class EnergyCounters:
     bus_bursts: int = 0            #: bursts that crossed the external channel bus
     cycles: int = 0
     ranks: int = 1
+    row_hits: int = 0              #: column commands that found the row open
+    row_misses: int = 0            #: column commands that needed (PRE+)ACT
 
     def merge(self, other: "EnergyCounters") -> None:
         self.activates += other.activates
         self.reads += other.reads
         self.writes += other.writes
         self.bus_bursts += other.bus_bursts
+        self.row_hits += other.row_hits
+        self.row_misses += other.row_misses
         self.cycles = max(self.cycles, other.cycles)
+
+    def publish(self, prefix: str = "memsim") -> None:
+        """Report the accumulated events into the metrics registry.
+
+        Called once per simulation run (not per access), so instrumented
+        runs pay no per-command overhead; see DESIGN.md Sec. 9.
+        """
+        if not obs.enabled():
+            return
+        obs.inc(f"{prefix}.activates", self.activates)
+        obs.inc(f"{prefix}.reads", self.reads)
+        obs.inc(f"{prefix}.writes", self.writes)
+        obs.inc(f"{prefix}.bus_bursts", self.bus_bursts)
+        obs.inc(f"{prefix}.row_hits", self.row_hits)
+        obs.inc(f"{prefix}.row_misses", self.row_misses)
 
     def energy_nj(self, params: EnergyParams, line_bytes: int = 64) -> dict:
         """Break total energy into DRAM-core, IO and background components."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..memsim.dram import DramSystem
 from ..memsim.timing import DDR4Timing, DramGeometry
@@ -118,6 +119,10 @@ class NdpSimulator:
             )
 
     def run(self, workload: NdpWorkload) -> NdpRunResult:
+        with obs.span("ndp.run", cat="sim"):
+            return self._run(workload)
+
+    def _run(self, workload: NdpWorkload) -> NdpRunResult:
         cfg = self.config
         dram = DramSystem(self.timing, self.geometry, identity_pages=True)
         generator = PacketGenerator(
@@ -152,4 +157,11 @@ class NdpSimulator:
                 )
             )
             clock = end
-        return NdpRunResult(config=cfg, records=records, dram=dram)
+        result = NdpRunResult(config=cfg, records=records, dram=dram)
+        if obs.enabled():
+            obs.inc("ndp.packets", len(records))
+            obs.inc("ndp.lines", result.total_lines)
+            obs.inc("ndp.result_lines", result.total_result_lines)
+            obs.inc("ndp.otp_blocks", result.total_otp_blocks)
+            dram.counters.publish()
+        return result

@@ -1,0 +1,63 @@
+"""Observability layer: metrics registry + phase tracing.
+
+One import point for every instrumented layer::
+
+    from .. import obs
+
+    obs.inc("otp.cache.hit", hits)          # counter (no-op when disabled)
+    with obs.span("protocol.verify"):       # timer + optional trace event
+        ...
+
+Enable with :func:`enable` (metrics), :func:`enable_tracing` (Chrome
+trace events), the CLI ``--stats`` / ``--trace`` flags, or
+``SECNDP_METRICS=1`` in the environment.  DESIGN.md Sec. 9 documents
+the metric naming scheme and the trace-reading workflow.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    format_snapshot,
+    gauge,
+    get_registry,
+    inc,
+    observe_ns,
+    reset,
+    snapshot,
+)
+from .tracing import (
+    MAX_TRACE_EVENTS,
+    clear_trace,
+    disable_tracing,
+    enable_tracing,
+    span,
+    trace_events,
+    traced,
+    tracing_enabled,
+    write_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "reset",
+    "inc",
+    "gauge",
+    "observe_ns",
+    "snapshot",
+    "format_snapshot",
+    "span",
+    "traced",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "trace_events",
+    "clear_trace",
+    "write_trace",
+    "MAX_TRACE_EVENTS",
+]

@@ -1,0 +1,229 @@
+"""Process-wide metrics registry: counters, gauges, timer histograms.
+
+Every instrumented layer of the reproduction (OTP cache, limb kernels,
+protocol phases, NDP/memsim traffic, harness experiments) reports into
+one :class:`MetricsRegistry` addressed by dotted metric names
+(``otp.cache.hit``, ``limb.dot.tier2``, ``protocol.verify.ns`` — the
+full naming scheme is DESIGN.md Sec. 9).
+
+The module-level :data:`ENABLED` flag makes the whole layer opt-in:
+every public recording helper (:func:`inc`, :func:`gauge`,
+:func:`observe_ns`) checks the flag first and returns immediately when
+metrics are off, so instrumented call sites cost one predictable branch
+on the hot paths.  Enable via :func:`enable`, the CLI ``--stats`` /
+``--trace`` flags, or the ``SECNDP_METRICS=1`` environment variable.
+
+Timer metrics keep a bounded ring of recent samples (plus exact
+count/total/max), so snapshots report p50/p95 without unbounded memory
+growth on long runs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Union
+
+__all__ = [
+    "MetricsRegistry",
+    "ENABLED",
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "reset",
+    "inc",
+    "gauge",
+    "observe_ns",
+    "snapshot",
+    "format_snapshot",
+]
+
+#: Ring-buffer capacity for timer samples, per metric.  Exact count,
+#: total and max are tracked separately; percentiles come from the most
+#: recent ``_TIMER_SAMPLES`` observations.
+_TIMER_SAMPLES = 4096
+
+
+class _Timer:
+    """One ns-resolution duration series: exact aggregates + sample ring."""
+
+    __slots__ = ("count", "total_ns", "max_ns", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ns = 0
+        self.max_ns = 0
+        self.samples: List[int] = []
+
+    def observe(self, ns: int) -> None:
+        if self.count < _TIMER_SAMPLES:
+            self.samples.append(ns)
+        else:
+            self.samples[self.count % _TIMER_SAMPLES] = ns
+        self.count += 1
+        self.total_ns += ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        ordered = sorted(self.samples)
+        n = len(ordered)
+
+        def pct(q: float) -> int:
+            return ordered[min(n - 1, int(q * n))] if n else 0
+
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "mean_ns": self.total_ns / self.count if self.count else 0.0,
+            "p50_ns": pct(0.50),
+            "p95_ns": pct(0.95),
+            "max_ns": self.max_ns,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe store of dotted-name counters, gauges and timers.
+
+    The registry itself is always willing to record; the cheap global
+    on/off gate lives in the module-level helpers so disabled call sites
+    never reach these methods.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, _Timer] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe_ns(self, name: str, ns: int) -> None:
+        with self._lock:
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = self._timers[name] = _Timer()
+            timer.observe(int(ns))
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": ..., "gauges": ..., "timers": ...}``.
+
+        Timer entries expose ``count / total_ns / mean_ns / p50_ns /
+        p95_ns / max_ns``.  The result is JSON-serialisable as-is.
+        """
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": {
+                    name: timer.stats()
+                    for name, timer in sorted(self._timers.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+#: Global on/off gate, checked by every recording helper before touching
+#: the registry.  Keep reads as ``metrics.ENABLED`` (module attribute) so
+#: toggling at runtime is seen by all call sites.
+ENABLED = os.environ.get("SECNDP_METRICS", "").lower() in ("1", "true", "yes", "on")
+
+_REGISTRY = MetricsRegistry()
+
+
+def enable() -> None:
+    """Turn metric recording on (idempotent)."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn metric recording off; existing data is kept until :func:`reset`."""
+    global ENABLED
+    ENABLED = False
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry all instrumented layers report into."""
+    return _REGISTRY
+
+
+def reset() -> None:
+    _REGISTRY.reset()
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Add ``n`` to counter ``name`` (no-op while metrics are disabled)."""
+    if ENABLED:
+        _REGISTRY.inc(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op while metrics are disabled)."""
+    if ENABLED:
+        _REGISTRY.gauge(name, value)
+
+
+def observe_ns(name: str, ns: int) -> None:
+    """Record one duration sample (no-op while metrics are disabled)."""
+    if ENABLED:
+        _REGISTRY.observe_ns(name, ns)
+
+
+def snapshot() -> dict:
+    return _REGISTRY.snapshot()
+
+
+def format_snapshot(snap: dict) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
+    lines: List[str] = []
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    timers = snap.get("timers", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name.ljust(width)}  {value:g}")
+    if timers:
+        lines.append("timers (us):")
+        width = max(len(k) for k in timers)
+        for name, t in timers.items():
+            lines.append(
+                f"  {name.ljust(width)}  count={t['count']}"
+                f"  total={t['total_ns'] / 1e3:.1f}"
+                f"  p50={t['p50_ns'] / 1e3:.1f}"
+                f"  p95={t['p95_ns'] / 1e3:.1f}"
+                f"  max={t['max_ns'] / 1e3:.1f}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

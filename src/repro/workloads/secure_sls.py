@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.params import SecNDPParams
 from ..core.protocol import SecNDPProcessor, UntrustedNdpDevice
 from ..errors import ConfigurationError
@@ -170,6 +171,7 @@ class SecureEmbeddingStore:
                 f"overflow Z(2^{self.processor.params.element_bits}) for "
                 f"table {name!r}; split the query"
             )
+        obs.inc("sls.queries")
         result = self.processor.weighted_row_sum(
             self.device, name, list(rows), weights, verify=self.verify
         )
@@ -248,9 +250,17 @@ class SecureEmbeddingStore:
                     f"overflow Z(2^{self.processor.params.element_bits}) for "
                     f"table {name!r}; split the query"
                 )
-        results = self.processor.weighted_row_sum_batch(
-            self.device, name, rows_list, weights_list, verify=self.verify
-        )
+        if obs.enabled():
+            total_rows = sum(len(rows) for rows in rows_list)
+            unique_rows = len({r for rows in rows_list for r in rows})
+            obs.inc("sls.batch.calls")
+            obs.inc("sls.batch.queries", len(rows_list))
+            obs.inc("sls.batch.rows_total", total_rows)
+            obs.inc("sls.batch.rows_unique", unique_rows)
+        with obs.span("sls.batch"):
+            results = self.processor.weighted_row_sum_batch(
+                self.device, name, rows_list, weights_list, verify=self.verify
+            )
         out = np.zeros((len(rows_list), entry.dim))
         for i, (result, weights) in enumerate(zip(results, weights_list)):
             pooled_q = result.values.astype(np.float64)[: entry.dim]

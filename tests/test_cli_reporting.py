@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import EXPERIMENTS, main
 from repro.harness.reporting import render_series, render_table
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Keep the global metrics/trace state from leaking across tests."""
+    obs.disable()
+    obs.disable_tracing()
+    obs.reset()
+    obs.clear_trace()
+    yield
+    obs.disable()
+    obs.disable_tracing()
+    obs.reset()
+    obs.clear_trace()
 
 
 class TestRenderTable:
@@ -49,13 +66,17 @@ class TestCli:
         for name in EXPERIMENTS:
             assert name in out
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["nonsense"])
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line error, no traceback
+        assert "unknown experiment" in err and "nonsense" in err
 
-    def test_bad_scale_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["table5", "--scale", "galactic"])
+    def test_bad_scale_exits_nonzero(self, capsys):
+        assert main(["table5", "--scale", "galactic"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "invalid scale" in err and "galactic" in err
 
     def test_runs_table5_smoke(self, capsys):
         assert main(["table5", "--scale", "smoke"]) == 0
@@ -78,3 +99,60 @@ class TestCli:
             "fig10",
             "fig11",
         }
+
+
+#: Counter names the --stats snapshot of a table3 run must contain — one
+#: per instrumented layer (the stable public naming scheme of DESIGN.md
+#: Sec. 9; treat renames as breaking changes).
+REQUIRED_COUNTERS = [
+    "otp.cache.hit",
+    "otp.cache.miss",
+    "limb.dot.tier1",
+    "protocol.queries",
+    "ndp.packets",
+    "memsim.activates",
+]
+
+
+class TestCliStats:
+    def test_stats_and_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["table3", "--scale", "smoke", "--stats", "--trace", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        for name in REQUIRED_COUNTERS:
+            assert name in out, f"snapshot missing {name}"
+        # Phase timers from the protocol spans.
+        assert "protocol.verify.ns" in out
+
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        assert events, "trace has no events"
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+            assert event["name"]
+        names = {e["name"] for e in events}
+        assert "experiment.table3" in names
+        assert "ndp.run" in names
+
+    def test_stats_without_trace(self, capsys):
+        assert main(["table5", "--scale", "smoke", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "memsim.activates" in out
+        # main() restores the disabled default before returning.
+        assert not obs.enabled()
+        assert not obs.tracing_enabled()
+
+    def test_disabled_run_records_nothing(self, capsys):
+        assert main(["table5", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" not in out
+        snap = obs.snapshot()
+        assert snap["counters"] == {}
+        assert snap["timers"] == {}
+        assert obs.trace_events() == []

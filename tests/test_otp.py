@@ -148,3 +148,52 @@ class TestBlockDedupeAndCache:
         out = gen.pad_elements_at(shuffled, 4)
         expected = np.concatenate([bulk[::-1], bulk[:7]])
         assert np.array_equal(out, expected)
+
+
+class TestCacheInfo:
+    """cache_info() exposes the LRU statistics; eviction bounds memory."""
+
+    def test_fresh_generator(self, gen32):
+        info = gen32.cache_info()
+        assert info == (0, 0, 0, 0, gen32.cache_blocks)
+        assert info.maxsize == gen32.cache_blocks
+
+    def test_hits_misses_reported(self, gen32):
+        addrs = np.arange(8, dtype=np.uint64) * 4 + 0x1000
+        gen32.pad_elements_at(addrs, 0)  # 2 distinct blocks -> 2 misses
+        gen32.pad_elements_at(addrs, 0)  # same blocks -> 2 hits
+        info = gen32.cache_info()
+        assert info.misses == 2
+        assert info.hits == 2
+        assert info.currsize == 2
+        assert info.evictions == 0
+
+    def test_clear_cache_resets_info(self, gen32):
+        gen32.pad_elements_at(np.array([0x1000], dtype=np.uint64), 0)
+        gen32.clear_cache()
+        assert gen32.cache_info() == (0, 0, 0, 0, gen32.cache_blocks)
+
+    def test_eviction_counts_and_bounds_memory(self):
+        capacity = 64
+        gen = OtpGenerator(TweakedCipher(KEY), RING32, cache_blocks=capacity)
+        rng = np.random.default_rng(7)
+        # Long scattered workload over a row space far larger than the
+        # cache: 200 queries of 32 random block-aligned addresses each.
+        for _ in range(200):
+            rows = rng.integers(0, 10_000, size=32).astype(np.uint64)
+            gen.pad_elements_at(rows * 16, 1)
+            info = gen.cache_info()
+            assert info.currsize <= capacity  # memory stays bounded
+        info = gen.cache_info()
+        assert info.evictions > 0
+        assert info.misses >= info.evictions + info.currsize
+        # Conservation: every miss either got evicted or is still cached.
+        assert info.misses == info.evictions + info.currsize
+
+    def test_disabled_cache_info(self):
+        gen = OtpGenerator(TweakedCipher(KEY), RING32, cache_blocks=0)
+        gen.pad_elements_at(np.array([0x1000], dtype=np.uint64), 0)
+        info = gen.cache_info()
+        assert info.maxsize == 0
+        assert info.currsize == 0
+        assert info.hits == 0 and info.misses == 0
