@@ -8,7 +8,10 @@ production default) and compares total wall time against the
 disabled runs.
 
 Also reports the metrics-ON wall time of the same sections, so the
-enabled-mode overhead stays visible in CI logs.
+enabled-mode overhead stays visible in CI logs, and checks that a
+``ParallelSlsEngine`` forced to ``--workers 0`` serves ``sls_many``
+within a small envelope of the plain in-process store path — the
+degraded engine is pure delegation and must stay free.
 
 Usage::
 
@@ -45,6 +48,59 @@ def _run_sections(sizes) -> float:
     return time.perf_counter() - start
 
 
+def _check_workers0_envelope(sizes, tolerance: float) -> bool:
+    """Engine at ``workers=0`` vs direct ``store.sls_many``, in-run.
+
+    Both paths are measured back to back in this process (best of 5), so
+    the comparison is machine-independent; the degraded engine adds one
+    attribute check per call and must stay within the envelope.
+    """
+    import numpy as np
+
+    from bench_hotpaths import KEY, _best_of
+    from repro.core.params import SecNDPParams
+    from repro.core.protocol import SecNDPProcessor, UntrustedNdpDevice
+    from repro.parallel import ParallelSlsEngine
+    from repro.workloads.secure_sls import SecureEmbeddingStore
+
+    params = SecNDPParams(element_bits=32)
+    store = SecureEmbeddingStore(
+        SecNDPProcessor(KEY, params), UntrustedNdpDevice(params), quantization="table"
+    )
+    rng = np.random.default_rng(5)
+    n_rows = min(sizes["n_rows"], 2_048)
+    store.add_table("emb", rng.normal(size=(n_rows, sizes["dim"])))
+    pf = min(sizes["pf"], store.max_pooling_factor("emb"))
+    batch_rows = [
+        list(rng.integers(0, min(2 * pf, n_rows), size=pf))
+        for _ in range(sizes["batch"])
+    ]
+
+    with ParallelSlsEngine(store, workers=0) as engine:
+        t_store, out_store = _best_of(
+            lambda: store.sls_many("emb", batch_rows), repeats=5
+        )
+        t_engine, out_engine = _best_of(
+            lambda: engine.sls_many("emb", batch_rows), repeats=5
+        )
+    assert np.array_equal(out_store, out_engine), "workers=0 engine diverges"
+    ratio = t_engine / t_store if t_store else float("inf")
+    # Double the wall-time tolerance: these are millisecond-scale
+    # sections, so scheduler jitter is proportionally larger.
+    limit = 1.0 + 2 * tolerance
+    print(
+        f"workers=0 engine: {t_engine*1e3:.1f} ms vs store "
+        f"{t_store*1e3:.1f} ms ({(ratio - 1) * 100:+.1f}%; limit +{limit - 1:.0%})"
+    )
+    if ratio > limit:
+        print(
+            f"FAIL: workers=0 engine is {ratio:.2f}x the in-process store "
+            f"path (limit {limit:.2f}x)"
+        )
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -75,6 +131,9 @@ def main(argv=None) -> int:
         f"metrics-off wall: {measured:.3f}s; metrics-on wall: "
         f"{enabled_wall:.3f}s ({(ratio - 1) * 100:+.1f}% when enabled)"
     )
+
+    if not _check_workers0_envelope(sizes, args.tolerance):
+        return 1
 
     baseline_path = Path(args.baseline)
     if not baseline_path.exists():

@@ -16,10 +16,11 @@ at or below table-wise degradation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..parallel import parallel_map
 from ..workloads.datasets import ClickDataset, click_dataset
 from ..workloads.dlrm import DlrmConfig, DlrmModel
 from ..workloads.quantization import (
@@ -76,6 +77,37 @@ def _pooled_from_tables(
     return out
 
 
+def _scheme_logloss(item):
+    """Evaluate one precision scheme; must stay picklable.
+
+    Each cell re-quantizes the (small) fp32 tables itself so the items
+    stay light: shipping the trained model once per scheme is cheaper
+    than shipping five sets of dequantized tables.
+    """
+    scheme, model, fp32_tables, dense_eval, rows_eval, labels_eval = item
+    if scheme == "32-bit floating point":
+        return scheme, model.logloss(dense_eval, rows_eval, labels_eval)
+    if scheme == "32-bit fixed point":
+        codec = FixedPointCodec(frac_bits=16)
+        tables = [codec.dequantize(codec.quantize(t)) for t in fp32_tables]
+    elif scheme == "table-wise quantization (8-bit)":
+        tw = TablewiseQuantizer()
+        tables = [tw.dequantize(*tw.quantize(t)) for t in fp32_tables]
+    elif scheme == "column-wise quantization (8-bit)":
+        cw = ColumnwiseQuantizer()
+        tables = [cw.dequantize(*cw.quantize(t)) for t in fp32_tables]
+    else:
+        rw = RowwiseQuantizer()
+        tables = [rw.dequantize(*rw.quantize(t)) for t in fp32_tables]
+    loss = model.logloss(
+        dense_eval,
+        rows_eval,
+        labels_eval,
+        pooled_override=_pooled_from_tables(model, tables, rows_eval),
+    )
+    return scheme, loss
+
+
 def quantization_accuracy(
     n_tables: int = 4,
     rows_per_table: int = 512,
@@ -85,6 +117,7 @@ def quantization_accuracy(
     lr: float = 0.1,
     seed: int = 7,
     include_rowwise: bool = True,
+    workers: Optional[int] = None,
 ) -> AccuracyReport:
     """Train a small DLRM and measure LogLoss under each precision scheme."""
     config = DlrmConfig(
@@ -113,51 +146,13 @@ def quantization_accuracy(
     labels_eval = data.labels[n_train:]
 
     fp32_tables = [t.values.astype(np.float64) for t in model.tables]
-    losses: Dict[str, float] = {}
-
-    # fp32 reference.
-    losses["32-bit floating point"] = model.logloss(
-        dense_eval, rows_eval, labels_eval
+    schemes = [s for s in SCHEMES if include_rowwise or "row-wise" not in s]
+    cells = parallel_map(
+        _scheme_logloss,
+        [
+            (scheme, model, fp32_tables, dense_eval, rows_eval, labels_eval)
+            for scheme in schemes
+        ],
+        workers=workers,
     )
-
-    # 32-bit fixed point.
-    codec = FixedPointCodec(frac_bits=16)
-    fixed_tables = [codec.dequantize(codec.quantize(t)) for t in fp32_tables]
-    losses["32-bit fixed point"] = model.logloss(
-        dense_eval,
-        rows_eval,
-        labels_eval,
-        pooled_override=_pooled_from_tables(model, fixed_tables, rows_eval),
-    )
-
-    # 8-bit table-wise.
-    tw = TablewiseQuantizer()
-    tw_tables = [tw.dequantize(*tw.quantize(t)) for t in fp32_tables]
-    losses["table-wise quantization (8-bit)"] = model.logloss(
-        dense_eval,
-        rows_eval,
-        labels_eval,
-        pooled_override=_pooled_from_tables(model, tw_tables, rows_eval),
-    )
-
-    # 8-bit column-wise.
-    cw = ColumnwiseQuantizer()
-    cw_tables = [cw.dequantize(*cw.quantize(t)) for t in fp32_tables]
-    losses["column-wise quantization (8-bit)"] = model.logloss(
-        dense_eval,
-        rows_eval,
-        labels_eval,
-        pooled_override=_pooled_from_tables(model, cw_tables, rows_eval),
-    )
-
-    if include_rowwise:
-        rw = RowwiseQuantizer()
-        rw_tables = [rw.dequantize(*rw.quantize(t)) for t in fp32_tables]
-        losses["row-wise quantization (8-bit)"] = model.logloss(
-            dense_eval,
-            rows_eval,
-            labels_eval,
-            pooled_override=_pooled_from_tables(model, rw_tables, rows_eval),
-        )
-
-    return AccuracyReport(logloss=losses)
+    return AccuracyReport(logloss=dict(cells))

@@ -7,11 +7,15 @@ Usage::
     python -m repro fig7 --scale default
     python -m repro all --scale smoke
     python -m repro table3 --scale smoke --stats --trace trace.json
+    python -m repro fig7 --scale paper --workers 4
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md Sec. 4 for the experiment index).  ``--stats`` prints the
 observability registry snapshot after the run and ``--trace PATH``
 writes a Chrome/Perfetto trace of the phase spans (DESIGN.md Sec. 9).
+``--workers N`` fans the experiment grid across N processes
+(DESIGN.md Sec. 10); the default comes from ``SECNDP_WORKERS`` or the
+CPU count, and ``--workers 0`` forces the in-process path.
 
 Unknown experiment names and invalid scales exit with status 2 and a
 one-line error, so shell scripts and CI steps fail fast without a
@@ -27,6 +31,7 @@ from typing import Dict
 
 from . import obs
 from .harness.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
+from .parallel import default_workers
 from .harness.experiments import (
     run_figure7,
     run_figure8,
@@ -48,39 +53,39 @@ _SCALES: Dict[str, ExperimentScale] = {
     "paper": PAPER_SCALE,
 }
 
-#: name -> (description, runner taking a scale)
+#: name -> (description, runner taking a scale and a worker count)
 EXPERIMENTS: Dict[str, tuple] = {
     "table3": (
         "end-to-end speedup vs baselines and SGX (Table III)",
-        lambda scale: run_table3(scale),
+        lambda scale, workers=None: run_table3(scale, workers=workers),
     ),
     "table4": (
         "LogLoss under quantization schemes (Table IV)",
-        lambda scale: run_table4(),
+        lambda scale, workers=None: run_table4(workers=workers),
     ),
     "table5": (
         "memory energy pJ/bit (Table V)",
-        lambda scale: run_table5(scale),
+        lambda scale, workers=None: run_table5(scale, workers=workers),
     ),
     "fig7": (
         "speedup vs #AES engines per NDP setting (Figure 7)",
-        lambda scale: run_figure7(scale),
+        lambda scale, workers=None: run_figure7(scale, workers=workers),
     ),
     "fig8": (
         "% packets decryption-bound, Enc-only (Figure 8)",
-        lambda scale: run_figure8(scale),
+        lambda scale, workers=None: run_figure8(scale, workers=workers),
     ),
     "fig9": (
         "verification-scheme speedups (Figure 9)",
-        lambda scale: run_figure9(scale),
+        lambda scale, workers=None: run_figure9(scale, workers=workers),
     ),
     "fig10": (
         "% packets decryption-bound incl. verification (Figure 10)",
-        lambda scale: run_figure10(scale),
+        lambda scale, workers=None: run_figure10(scale, workers=workers),
     ),
     "fig11": (
         "end-to-end breakdown + batch scaling (Figure 11)",
-        lambda scale: run_figure11(scale),
+        lambda scale, workers=None: run_figure11(scale, workers=workers),
     ),
 }
 
@@ -106,6 +111,17 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the results as a JSON bundle to PATH",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the experiment grid "
+            "(default: SECNDP_WORKERS if set, else the CPU count; "
+            "0 = run everything in-process)"
+        ),
     )
     parser.add_argument(
         "--stats",
@@ -153,6 +169,10 @@ def main(argv=None) -> int:
     if args.trace is not None:
         obs.enable_tracing()
 
+    workers = args.workers if args.workers is not None else default_workers()
+    if workers < 0:
+        return _fail(f"--workers must be >= 0, got {workers}")
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     scale = _SCALES[args.scale]
     collected = {}
@@ -162,7 +182,7 @@ def main(argv=None) -> int:
             print(f"== {name}: {description} (scale={scale.name}) ==")
             started = time.time()
             with obs.span(f"experiment.{name}", cat="harness"):
-                result = runner(scale)
+                result = runner(scale, workers)
             collected[name] = result
             print(result.render())
             print(f"[{name} finished in {time.time() - started:.1f}s]\n")

@@ -42,6 +42,7 @@ __all__ = [
     "UntrustedNdpDevice",
     "SecNDPProcessor",
     "WeightedSumResult",
+    "PartialSumShare",
 ]
 
 
@@ -55,6 +56,30 @@ class WeightedSumResult:
 
     values: np.ndarray
     verified: bool
+
+
+@dataclass
+class PartialSumShare:
+    """One shard's contribution to a batch of weighted-summation queries.
+
+    Produced by :meth:`SecNDPProcessor.partial_row_sum_batch` over the
+    subset of each query's rows a worker owns, and combined on the
+    trusted side by :meth:`SecNDPProcessor.finalize_row_sum_batch`.
+
+    ``values`` has shape ``(n_queries, m)``: row ``q`` is this shard's
+    already-decrypted share ``sum_k a_k * P_{i_k, j}`` restricted to the
+    shard's rows (zeros when the query touches none of them).
+    ``tag_shares`` holds the matching per-query field elements
+    ``C_T_res + E_T_res`` restricted the same way, or ``None`` when the
+    partial was computed without verification material.
+
+    Both components live in exact modular structures (the ring
+    ``Z(2^w_e)`` and the tag field), so summing shards in any order and
+    any grouping reproduces the sequential result bit for bit.
+    """
+
+    values: np.ndarray
+    tag_shares: Optional[List[int]]
 
 
 class UntrustedNdpDevice:
@@ -287,12 +312,23 @@ class SecNDPProcessor:
         if not batch_rows:
             return []
         enc = device.stored(name)
+        n_cols = int(enc.ciphertext.shape[1])
 
-        all_rows = np.unique(
-            np.concatenate(
-                [np.asarray(rows, dtype=np.int64).reshape(-1) for rows in batch_rows]
-            )
-        )
+        batch_arrs = [
+            np.asarray(rows, dtype=np.int64).reshape(-1) for rows in batch_rows
+        ]
+        touched = [rows for rows in batch_arrs if rows.size]
+        if not touched:
+            # Every query is empty: the pooled sums are identically zero
+            # and nothing untrusted contributes, so nothing to verify.
+            return [
+                WeightedSumResult(
+                    values=np.zeros(n_cols, dtype=self.ring.dtype),
+                    verified=verify,
+                )
+                for _ in batch_rows
+            ]
+        all_rows = np.unique(np.concatenate(touched))
         if obs.enabled():
             obs.inc("protocol.batch.queries", len(batch_rows))
             obs.inc(
@@ -316,8 +352,16 @@ class SecNDPProcessor:
             key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
 
         results: List[WeightedSumResult] = []
-        for rows, weights in zip(batch_rows, batch_weights):
+        for rows, weights in zip(batch_arrs, batch_weights):
             obs.inc("protocol.queries")
+            if not rows.size:
+                results.append(
+                    WeightedSumResult(
+                        values=np.zeros(n_cols, dtype=self.ring.dtype),
+                        verified=verify,
+                    )
+                )
+                continue
             weights_ring = self.ring.encode(np.asarray(weights))
             with obs.span("protocol.offload"):
                 c_res = device.weighted_row_sum(name, rows, weights_ring)
@@ -338,6 +382,133 @@ class SecNDPProcessor:
                         tag_pads=[tag_pads[k] for k in idx],
                     )
             results.append(WeightedSumResult(values=res, verified=verify))
+        return results
+
+    def partial_row_sum_batch(
+        self,
+        device: UntrustedNdpDevice,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+        with_tag_shares: bool = True,
+    ) -> PartialSumShare:
+        """One shard's half of :meth:`weighted_row_sum_batch`.
+
+        ``batch_rows[q]`` lists only the rows of query ``q`` that this
+        shard owns (possibly none); the returned share holds the
+        decrypted partial sums and, when ``with_tag_shares``, the
+        combined tag shares ``C_T_res + E_T_res`` for those rows.  No
+        verification happens here — a partial sum has no meaningful tag
+        identity on its own; :meth:`finalize_row_sum_batch` checks the
+        recombined totals.
+
+        Pad regeneration (data and tag OTPs) is amortized over the union
+        of this shard's rows, exactly like the sequential batch path.
+        """
+        if batch_weights is None:
+            batch_weights = [[1] * len(rows) for rows in batch_rows]
+        if len(batch_weights) != len(batch_rows):
+            raise ValueError("batch_rows and batch_weights must have equal length")
+        enc = device.stored(name)
+        n_cols = int(enc.ciphertext.shape[1])
+        values = np.zeros((len(batch_rows), n_cols), dtype=self.ring.dtype)
+        tag_shares: Optional[List[int]] = [0] * len(batch_rows) if with_tag_shares else None
+        if not batch_rows:
+            return PartialSumShare(values=values, tag_shares=tag_shares)
+
+        nonempty = [
+            np.asarray(rows, dtype=np.int64).reshape(-1) for rows in batch_rows
+        ]
+        touched = [rows for rows in nonempty if rows.size]
+        if not touched:
+            return PartialSumShare(values=values, tag_shares=tag_shares)
+        all_rows = np.unique(np.concatenate(touched))
+        if obs.enabled():
+            obs.inc("protocol.partial.queries", len(batch_rows))
+            obs.inc("protocol.partial.rows_unique", int(all_rows.size))
+        row_pos = {int(r): k for k, r in enumerate(all_rows)}
+        with obs.span("protocol.otp"):
+            pads = self.encryptor.pads_for_rows(enc, all_rows)
+        tag_pads = None
+        if with_tag_shares:
+            if enc.tags is None or enc.checksum_version is None:
+                raise VerificationError(
+                    f"matrix {name!r} was encrypted without verification tags"
+                )
+            with obs.span("protocol.otp"):
+                tag_pads = self.mac.tag_pads_for_rows(enc, all_rows)
+
+        for q, (rows, weights) in enumerate(zip(nonempty, batch_weights)):
+            if not rows.size:
+                continue
+            weights_ring = self.ring.encode(np.asarray(weights))
+            with obs.span("protocol.offload"):
+                c_res = device.weighted_row_sum(name, rows, weights_ring)
+            idx = [row_pos[int(i)] for i in rows]
+            with obs.span("protocol.combine"):
+                e_res = self.ring.dot(weights_ring, pads[idx])
+                values[q] = self.ring.add(c_res, e_res)
+            if with_tag_shares:
+                weights_int = [int(w) for w in weights_ring]
+                with obs.span("protocol.verify"):
+                    e_t_res = limb_field.field_dot(
+                        self.field, weights_int, [tag_pads[k] for k in idx]
+                    )
+                    c_t_res = device.weighted_tag_sum(name, rows, weights_int)
+                    tag_shares[q] = self.field.add(c_t_res, e_t_res)
+        return PartialSumShare(values=values, tag_shares=tag_shares)
+
+    def finalize_row_sum_batch(
+        self,
+        enc: EncryptedMatrix,
+        name: str,
+        partials: Sequence[PartialSumShare],
+        verify: bool = True,
+    ) -> List[WeightedSumResult]:
+        """Combine shard shares into verified results (trusted side).
+
+        Ring-adds the value shares and field-adds the tag shares across
+        shards, then runs the Alg. 5 check on each recombined total:
+        because every shard partitions the query's rows and both
+        structures are exact modular arithmetic, the totals — and hence
+        the verification outcome — are bit-identical to
+        :meth:`weighted_row_sum_batch` on the unsharded queries.
+        """
+        partials = list(partials)
+        if not partials:
+            return []
+        res = partials[0].values
+        for part in partials[1:]:
+            res = self.ring.add(res, part.values)
+        key = None
+        if verify:
+            if enc.tags is None or enc.checksum_version is None:
+                raise VerificationError(
+                    f"matrix {name!r} was encrypted without verification tags"
+                )
+            key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
+        results: List[WeightedSumResult] = []
+        for q in range(res.shape[0]):
+            values = res[q]
+            if verify:
+                with obs.span("protocol.verify"):
+                    retrieved = 0
+                    for part in partials:
+                        if part.tag_shares is None:
+                            raise VerificationError(
+                                "partial share carries no tag shares; recompute "
+                                "with with_tag_shares=True to verify"
+                            )
+                        retrieved = self.field.add(retrieved, part.tag_shares[q])
+                    t_res = self.checksum.result_tag(values, key)
+                    if retrieved != t_res:
+                        obs.inc("protocol.verify.failures")
+                        raise VerificationError(
+                            f"tag mismatch for query on {name!r}: computed "
+                            f"{t_res:#x}, retrieved {retrieved:#x} "
+                            f"(tampering, replay, or ring overflow)"
+                        )
+            results.append(WeightedSumResult(values=values, verified=verify))
         return results
 
     def weighted_element_sum(

@@ -31,7 +31,7 @@ from .aes import BLOCK_BYTES
 from .ring import Ring
 from .tweaked import DOMAIN_DATA, TweakedCipher
 
-__all__ = ["OtpGenerator", "OtpCacheInfo"]
+__all__ = ["OtpGenerator", "OtpCacheInfo", "merge_cache_info"]
 
 
 class OtpCacheInfo(NamedTuple):
@@ -42,6 +42,30 @@ class OtpCacheInfo(NamedTuple):
     evictions: int
     currsize: int
     maxsize: int
+
+def merge_cache_info(infos) -> OtpCacheInfo:
+    """Aggregate :class:`OtpCacheInfo` tuples from independent generators.
+
+    Each pool worker owns a private pad-block LRU; this sums their
+    hit/miss/eviction counters and sizes so a sharded
+    ``SecureEmbeddingStore`` can report one fleet-wide ``cache_info()``.
+    ``maxsize`` sums too — it is the total pad memory the fleet may pin.
+    """
+    hits = misses = evictions = currsize = maxsize = 0
+    for info in infos:
+        hits += info.hits
+        misses += info.misses
+        evictions += info.evictions
+        currsize += info.currsize
+        maxsize += info.maxsize
+    return OtpCacheInfo(
+        hits=hits,
+        misses=misses,
+        evictions=evictions,
+        currsize=currsize,
+        maxsize=maxsize,
+    )
+
 
 #: Default LRU capacity in cipher blocks (16 B of pad each); at the
 #: default 4096 blocks the cache tops out well under 1 MiB.

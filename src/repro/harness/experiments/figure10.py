@@ -9,11 +9,12 @@ schemes need more AES engines to stop being decryption-bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ...errors import ConfigurationError
 from ...ndp.aes_engine import AesEngineModel
 from ...ndp.verification import TagScheme
+from ...parallel import parallel_map
 from ..configs import DEFAULT_SCALE, ExperimentScale
 from ..reporting import render_series
 from .common import build_sls_workload, run_ndp, scaled_config
@@ -49,26 +50,37 @@ class Figure10Result:
         return "\n\n".join(blocks)
 
 
+def _figure10_cell(item):
+    """One (family, scheme) cell; must stay picklable."""
+    label, workload, scheme_name, aes_sweep = item
+    scheme = TagScheme(scheme_name)
+    try:
+        run = run_ndp(workload, tag_scheme=scheme)
+    except ConfigurationError:
+        return label, scheme.value, None  # Ver-ECC infeasible for quantized rows
+    series = [run.decryption_bound_fraction(AesEngineModel(n)) for n in aes_sweep]
+    return label, scheme.value, series
+
+
 def run_figure10(
     scale: ExperimentScale = DEFAULT_SCALE,
     model: str = "RMC1-small",
     aes_sweep: List[int] = None,
+    workers: Optional[int] = None,
 ) -> Figure10Result:
     aes_sweep = aes_sweep or AES_SWEEP_F10
     config = scaled_config(model, scale)
-    fractions: Dict[str, Dict[str, List[float]]] = {}
+    items = []
     for label, element_bytes in (("SLS 32-bit", 4), ("SLS 8-bit quantized", 1)):
         workload = build_sls_workload(
             config, scale, element_bytes=element_bytes, trace_kind="production"
         )
-        per_scheme: Dict[str, List[float]] = {}
-        for scheme in SCHEMES_F9:
-            try:
-                run = run_ndp(workload, tag_scheme=scheme)
-            except ConfigurationError:
-                continue  # Ver-ECC infeasible for quantized rows
-            per_scheme[scheme.value] = [
-                run.decryption_bound_fraction(AesEngineModel(n)) for n in aes_sweep
-            ]
-        fractions[label] = per_scheme
+        items.extend(
+            (label, workload, scheme.value, aes_sweep) for scheme in SCHEMES_F9
+        )
+    fractions: Dict[str, Dict[str, List[float]]] = {}
+    for label, key, series in parallel_map(_figure10_cell, items, workers=workers):
+        fractions.setdefault(label, {})
+        if series is not None:
+            fractions[label][key] = series
     return Figure10Result(aes_sweep=aes_sweep, fractions=fractions)

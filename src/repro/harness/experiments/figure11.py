@@ -15,11 +15,12 @@ with batch.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ...baselines.sgx import SGX_ICL, sgx_slowdown
 from ...ndp.aes_engine import AesEngineModel
 from ...ndp.verification import TagScheme
+from ...parallel import parallel_map
 from ..configs import CpuModel, DEFAULT_SCALE, ExperimentScale
 from ..reporting import render_series, render_table
 from .common import build_sls_workload, run_baseline, run_ndp, scaled_config
@@ -73,56 +74,79 @@ class Figure11Result:
         return top + "\n\n" + bottom
 
 
+def _figure11_breakdown_cell(item):
+    """Breakdown at the scale's default batch; must stay picklable."""
+    model, scale, cpu, n_aes_engines = item
+    config = scaled_config(model, scale)
+    wl = build_sls_workload(config, scale)
+    base_mem = run_baseline(wl).total_ns
+    sec = run_ndp(wl, tag_scheme=TagScheme.VER_ECC)
+    return model, {
+        "base_cpu_ns": cpu.mlp_ns(config, scale.batch, in_tee=False),
+        "base_mem_ns": base_mem,
+        "sec_cpu_ns": cpu.mlp_ns(config, scale.batch, in_tee=True)
+        + cpu.offload_overhead_ns,
+        "sec_ndp_ns": sec.secndp_ns(AesEngineModel(n_aes_engines)),
+    }
+
+
+def _figure11_batch_cell(item):
+    """One (model, batch) point of the bottom panel; must stay picklable."""
+    model, scale, cpu, n_aes_engines, batch = item
+    config = scaled_config(model, scale)
+    batch_scale = replace(scale, batch=batch)
+    wl_b = build_sls_workload(config, batch_scale)
+    base_mem_b = run_baseline(wl_b).total_ns
+    sec_b = run_ndp(wl_b, tag_scheme=TagScheme.VER_ECC)
+    cpu_plain = cpu.mlp_ns(config, batch, in_tee=False)
+    cpu_tee = cpu.mlp_ns(config, batch, in_tee=True)
+    e2e_base = cpu_plain + base_mem_b
+    e2e_sec = (
+        cpu_tee
+        + cpu.offload_overhead_ns
+        + sec_b.secndp_ns(AesEngineModel(n_aes_engines))
+    )
+    icl_ns = cpu_plain * SGX_ICL.cache_resident_factor + sgx_slowdown(
+        SGX_ICL,
+        config.total_embedding_bytes,
+        batch * config.n_tables * scale.pooling_factor * 128,
+        base_mem_b,
+    )
+    return model, batch, e2e_base / e2e_sec, e2e_base / icl_ns
+
+
 def run_figure11(
     scale: ExperimentScale = DEFAULT_SCALE,
     models: List[str] = None,
     cpu: CpuModel = CpuModel(),
     n_aes_engines: int = 12,
+    workers: Optional[int] = None,
 ) -> Figure11Result:
     models = models or ["RMC1-small", "RMC2-small"]
-    aes = AesEngineModel(n_aes_engines)
 
-    breakdown: Dict[str, Dict[str, float]] = {}
-    speedup_vs_batch: Dict[str, List[float]] = {}
-    sgx_vs_batch: Dict[str, List[float]] = {}
+    breakdown_cells = parallel_map(
+        _figure11_breakdown_cell,
+        [(model, scale, cpu, n_aes_engines) for model in models],
+        workers=workers,
+    )
+    breakdown: Dict[str, Dict[str, float]] = dict(breakdown_cells)
 
-    for model in models:
-        config = scaled_config(model, scale)
-
-        # -- breakdown at the scale's default batch --------------------------
-        wl = build_sls_workload(config, scale)
-        base_mem = run_baseline(wl).total_ns
-        sec = run_ndp(wl, tag_scheme=TagScheme.VER_ECC)
-        breakdown[model] = {
-            "base_cpu_ns": cpu.mlp_ns(config, scale.batch, in_tee=False),
-            "base_mem_ns": base_mem,
-            "sec_cpu_ns": cpu.mlp_ns(config, scale.batch, in_tee=True)
-            + cpu.offload_overhead_ns,
-            "sec_ndp_ns": sec.secndp_ns(aes),
-        }
-
-        # -- batch sweep -------------------------------------------------------
-        speedups = []
-        sgx_speedups = []
-        for batch in BATCH_SWEEP:
-            batch_scale = replace(scale, batch=batch)
-            wl_b = build_sls_workload(config, batch_scale)
-            base_mem_b = run_baseline(wl_b).total_ns
-            sec_b = run_ndp(wl_b, tag_scheme=TagScheme.VER_ECC)
-            cpu_plain = cpu.mlp_ns(config, batch, in_tee=False)
-            cpu_tee = cpu.mlp_ns(config, batch, in_tee=True)
-            e2e_base = cpu_plain + base_mem_b
-            e2e_sec = cpu_tee + cpu.offload_overhead_ns + sec_b.secndp_ns(aes)
-            speedups.append(e2e_base / e2e_sec)
-            icl_ns = cpu_plain * SGX_ICL.cache_resident_factor + sgx_slowdown(
-                SGX_ICL,
-                config.total_embedding_bytes,
-                batch * config.n_tables * scale.pooling_factor * 128,
-                base_mem_b,
-            )
-            sgx_speedups.append(e2e_base / icl_ns)
-        speedup_vs_batch[model] = speedups
-        sgx_vs_batch[model] = sgx_speedups
+    batch_cells = parallel_map(
+        _figure11_batch_cell,
+        [
+            (model, scale, cpu, n_aes_engines, batch)
+            for model in models
+            for batch in BATCH_SWEEP
+        ],
+        workers=workers,
+    )
+    speedup_vs_batch: Dict[str, List[float]] = {m: [] for m in models}
+    sgx_vs_batch: Dict[str, List[float]] = {m: [] for m in models}
+    # Cells come back in dispatch order (parallel_map preserves it), so
+    # each model's series stays aligned with BATCH_SWEEP.
+    for model, batch, speedup, sgx_speedup in batch_cells:
+        speedup_vs_batch[model].append(speedup)
+        sgx_vs_batch[model].append(sgx_speedup)
 
     return Figure11Result(
         breakdown=breakdown,

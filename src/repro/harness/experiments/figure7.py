@@ -20,9 +20,10 @@ has the highest speedup and does not benefit from more registers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...ndp.aes_engine import AesEngineModel
+from ...parallel import parallel_map
 from ..configs import DEFAULT_SCALE, ExperimentScale
 from ..reporting import render_table
 from .common import (
@@ -61,60 +62,55 @@ class Figure7Result:
         return "\n\n".join(blocks)
 
 
+def _figure7_cell(item):
+    """One (family, NDP setting) grid cell; must stay picklable."""
+    label, workload, workload_row, rank, reg, aes_sweep, base, fixed = item
+    run = run_ndp(workload, rank, reg)
+    entry = dict(fixed)
+    entry["NDP"] = base / run.ndp_only_ns
+    if workload_row is not None:
+        run_row = run_ndp(workload_row, rank, reg)
+        entry["NDP(row_quan)"] = base / run_row.ndp_only_ns
+    for n in aes_sweep:
+        entry[f"SecNDP-Enc({n} AES)"] = base / run.secndp_ns(AesEngineModel(n))
+    return label, (rank, reg), entry
+
+
 def run_figure7(
     scale: ExperimentScale = DEFAULT_SCALE,
     model: str = "RMC1-small",
     settings: List[Tuple[int, int]] = None,
     aes_sweep: List[int] = None,
+    workers: Optional[int] = None,
 ) -> Figure7Result:
     settings = settings or NDP_SETTINGS
     aes_sweep = aes_sweep or AES_SWEEP
     config = scaled_config(model, scale)
 
-    speedups: Dict[str, Dict[Tuple[int, int], Dict[str, float]]] = {}
-
-    # -- SLS, 32-bit ------------------------------------------------------------
+    # Baselines are shared across every cell of a family, so they run
+    # once here; the (family x setting) grid then fans out.
     wl32 = build_sls_workload(config, scale, element_bytes=4)
-    base32 = run_baseline(wl32).total_ns
-    fam: Dict[Tuple[int, int], Dict[str, float]] = {}
-    for rank, reg in settings:
-        run = run_ndp(wl32, rank, reg)
-        entry = {"non-NDP": 1.0, "NDP": base32 / run.ndp_only_ns}
-        for n in aes_sweep:
-            entry[f"SecNDP-Enc({n} AES)"] = base32 / run.secndp_ns(AesEngineModel(n))
-        fam[(rank, reg)] = entry
-    speedups["SLS 32-bit"] = fam
-
-    # -- SLS, 8-bit quantized ------------------------------------------------------
     wl8 = build_sls_workload(config, scale, element_bytes=1)
     wl8_row = build_sls_workload(config, scale, element_bytes=1, rowwise_quant=True)
+    wla = build_analytics_workload(scale)
+    base32 = run_baseline(wl32).total_ns
     base8 = run_baseline(wl8).total_ns
     base8_row = run_baseline(wl8_row).total_ns
-    fam = {}
-    for rank, reg in settings:
-        run = run_ndp(wl8, rank, reg)
-        run_row = run_ndp(wl8_row, rank, reg)
-        entry = {
-            "non-NDP": base32 / base8,
-            "non-NDP(row_quan)": base32 / base8_row,
-            "NDP": base32 / run.ndp_only_ns,
-            "NDP(row_quan)": base32 / run_row.ndp_only_ns,
-        }
-        for n in aes_sweep:
-            entry[f"SecNDP-Enc({n} AES)"] = base32 / run.secndp_ns(AesEngineModel(n))
-        fam[(rank, reg)] = entry
-    speedups["SLS 8-bit quantized"] = fam
-
-    # -- data analytics ---------------------------------------------------------------
-    wla = build_analytics_workload(scale)
     basea = run_baseline(wla).total_ns
-    fam = {}
-    for rank, reg in settings:
-        run = run_ndp(wla, rank, reg)
-        entry = {"non-NDP": 1.0, "NDP": basea / run.ndp_only_ns}
-        for n in aes_sweep:
-            entry[f"SecNDP-Enc({n} AES)"] = basea / run.secndp_ns(AesEngineModel(n))
-        fam[(rank, reg)] = entry
-    speedups["Data analytics"] = fam
 
+    quant_fixed = {
+        "non-NDP": base32 / base8,
+        "non-NDP(row_quan)": base32 / base8_row,
+    }
+    items = (
+        [("SLS 32-bit", wl32, None, r, g, aes_sweep, base32, {"non-NDP": 1.0})
+         for r, g in settings]
+        + [("SLS 8-bit quantized", wl8, wl8_row, r, g, aes_sweep, base32, quant_fixed)
+           for r, g in settings]
+        + [("Data analytics", wla, None, r, g, aes_sweep, basea, {"non-NDP": 1.0})
+           for r, g in settings]
+    )
+    speedups: Dict[str, Dict[Tuple[int, int], Dict[str, float]]] = {}
+    for label, setting, entry in parallel_map(_figure7_cell, items, workers=workers):
+        speedups.setdefault(label, {})[setting] = entry
     return Figure7Result(speedups=speedups)

@@ -13,9 +13,10 @@ and the quantized workload needs roughly a third of the engines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ...ndp.aes_engine import AesEngineModel
+from ...parallel import parallel_map
 from ..configs import DEFAULT_SCALE, ExperimentScale
 from ..reporting import render_series
 from .common import build_sls_workload, run_ndp, scaled_config
@@ -48,26 +49,32 @@ class Figure8Result:
         return "\n\n".join(blocks)
 
 
+def _figure8_cell(item):
+    """One (family, rank) cell; must stay picklable."""
+    label, workload, rank, aes_sweep = item
+    run = run_ndp(workload, ndp_ranks=rank, ndp_regs=rank)
+    series = [run.decryption_bound_fraction(AesEngineModel(n)) for n in aes_sweep]
+    return label, f"rank={rank}", series
+
+
 def run_figure8(
     scale: ExperimentScale = DEFAULT_SCALE,
     model: str = "RMC1-small",
     ranks: List[int] = None,
     aes_sweep: List[int] = None,
+    workers: Optional[int] = None,
 ) -> Figure8Result:
     ranks = ranks or RANK_SWEEP
     aes_sweep = aes_sweep or AES_SWEEP_F8
     config = scaled_config(model, scale)
 
-    fractions: Dict[str, Dict[str, List[float]]] = {}
+    items = []
     for label, element_bytes in (("SLS 32-bit", 4), ("SLS 8-bit quantized", 1)):
         workload = build_sls_workload(
             config, scale, element_bytes=element_bytes, trace_kind="production"
         )
-        per_rank: Dict[str, List[float]] = {}
-        for rank in ranks:
-            run = run_ndp(workload, ndp_ranks=rank, ndp_regs=rank)
-            per_rank[f"rank={rank}"] = [
-                run.decryption_bound_fraction(AesEngineModel(n)) for n in aes_sweep
-            ]
-        fractions[label] = per_rank
+        items.extend((label, workload, rank, aes_sweep) for rank in ranks)
+    fractions: Dict[str, Dict[str, List[float]]] = {}
+    for label, key, series in parallel_map(_figure8_cell, items, workers=workers):
+        fractions.setdefault(label, {})[key] = series
     return Figure8Result(aes_sweep=aes_sweep, fractions=fractions)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from ...errors import ConfigurationError
 from ...ndp.aes_engine import AesEngineModel
 from ...ndp.verification import TagScheme
+from ...parallel import parallel_map
 from ..configs import DEFAULT_SCALE, ExperimentScale
 from ..reporting import render_table
 from .common import (
@@ -63,14 +64,27 @@ class Figure9Result:
         )
 
 
+def _figure9_cell(item):
+    """One (family, scenario) cell; must stay picklable."""
+    label, workload, scheme_name, base, n_aes_engines = item
+    if scheme_name is None:
+        plain = run_ndp(workload)
+        return label, "NDP (unprotected)", base / plain.ndp_only_ns
+    scheme = TagScheme(scheme_name)
+    try:
+        run = run_ndp(workload, tag_scheme=scheme)
+    except ConfigurationError:
+        return label, scheme.value, None  # Ver-ECC on sub-line rows
+    return label, scheme.value, base / run.secndp_ns(AesEngineModel(n_aes_engines))
+
+
 def run_figure9(
     scale: ExperimentScale = DEFAULT_SCALE,
     model: str = "RMC1-small",
     n_aes_engines: int = 12,
+    workers: Optional[int] = None,
 ) -> Figure9Result:
-    aes = AesEngineModel(n_aes_engines)
     config = scaled_config(model, scale)
-    speedups: Dict[str, Dict[str, Optional[float]]] = {}
 
     workloads = {
         "SLS 32-bit": build_sls_workload(config, scale, element_bytes=4),
@@ -80,17 +94,12 @@ def run_figure9(
     # Both SLS families are normalised to the *unquantized* non-NDP
     # baseline, matching Fig. 7's convention (quantized bars sit higher).
     base32 = run_baseline(workloads["SLS 32-bit"]).total_ns
+    items = []
     for label, workload in workloads.items():
         base = base32 if label.startswith("SLS") else run_baseline(workload).total_ns
-        entry: Dict[str, Optional[float]] = {}
-        plain = run_ndp(workload)
-        entry["NDP (unprotected)"] = base / plain.ndp_only_ns
-        for scheme in SCHEMES_F9:
-            try:
-                run = run_ndp(workload, tag_scheme=scheme)
-            except ConfigurationError:
-                entry[scheme.value] = None  # Ver-ECC on sub-line rows
-                continue
-            entry[scheme.value] = base / run.secndp_ns(aes)
-        speedups[label] = entry
+        for scheme_name in [None] + [s.value for s in SCHEMES_F9]:
+            items.append((label, workload, scheme_name, base, n_aes_engines))
+    speedups: Dict[str, Dict[str, Optional[float]]] = {}
+    for label, scenario, value in parallel_map(_figure9_cell, items, workers=workers):
+        speedups.setdefault(label, {})[scenario] = value
     return Figure9Result(speedups=speedups)

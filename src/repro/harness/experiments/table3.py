@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from ...baselines.sgx import SGX_CFL, SGX_ICL, sgx_slowdown
 from ...ndp.aes_engine import AesEngineModel
 from ...ndp.verification import TagScheme
+from ...parallel import parallel_map
 from ...workloads.dlrm import RMC_CONFIGS
 from ..configs import CpuModel, DEFAULT_SCALE, ExperimentScale
 from ..reporting import render_table
@@ -75,68 +76,68 @@ class Table3Result:
         )
 
 
-def run_table3(
-    scale: ExperimentScale = DEFAULT_SCALE,
-    cpu: CpuModel = CpuModel(),
-    n_aes_engines: int = 12,
-) -> Table3Result:
+def _table3_model_cell(item):
+    """One model column (all five scenarios); must stay picklable."""
+    name, scale, cpu, n_aes_engines = item
     aes = AesEngineModel(n_engines=n_aes_engines)
-    columns = MODELS + ["Data Analytics"]
-    speedups: Dict[str, Dict[str, Optional[float]]] = {s: {} for s in SCENARIOS}
+    config = scaled_config(name, scale)
+    full_config = RMC_CONFIGS[name]
+    workload = build_sls_workload(config, scale)
 
-    for name in MODELS:
-        config = scaled_config(name, scale)
-        full_config = RMC_CONFIGS[name]
-        workload = build_sls_workload(config, scale)
+    base = run_baseline(workload)
+    ndp = run_ndp(workload, tag_scheme=TagScheme.ENC_ONLY)
+    ver = run_ndp(workload, tag_scheme=TagScheme.VER_ECC)
 
-        base = run_baseline(workload)
-        ndp = run_ndp(workload, tag_scheme=TagScheme.ENC_ONLY)
-        ver = run_ndp(workload, tag_scheme=TagScheme.VER_ECC)
+    cpu_plain_ns = cpu.mlp_ns(config, scale.batch, in_tee=False)
+    cpu_tee_ns = cpu.mlp_ns(config, scale.batch, in_tee=True)
 
-        cpu_plain_ns = cpu.mlp_ns(config, scale.batch, in_tee=False)
-        cpu_tee_ns = cpu.mlp_ns(config, scale.batch, in_tee=True)
+    e2e_base = cpu_plain_ns + base.total_ns
+    e2e_ndp = cpu_plain_ns + ndp.ndp_only_ns
+    e2e_secndp = cpu_tee_ns + cpu.offload_overhead_ns + ver.secndp_ns(aes)
 
-        e2e_base = cpu_plain_ns + base.total_ns
-        e2e_ndp = cpu_plain_ns + ndp.ndp_only_ns
-        e2e_secndp = cpu_tee_ns + cpu.offload_overhead_ns + ver.secndp_ns(aes)
-
-        speedups["unprotected non-NDP"][name] = 1.0
-        speedups["unprotected NDP"][name] = e2e_base / e2e_ndp
-        speedups["SecNDP"][name] = e2e_base / e2e_secndp
-
-        ws = full_config.total_embedding_bytes
-        touched = (
-            scale.batch
-            * config.n_tables
-            * scale.pooling_factor
-            * config.embedding_dim
-            * 4
+    column: Dict[str, Optional[float]] = {
+        "unprotected non-NDP": 1.0,
+        "unprotected NDP": e2e_base / e2e_ndp,
+        "SecNDP": e2e_base / e2e_secndp,
+    }
+    ws = full_config.total_embedding_bytes
+    touched = (
+        scale.batch
+        * config.n_tables
+        * scale.pooling_factor
+        * config.embedding_dim
+        * 4
+    )
+    if ws > SGX_MALLOC_LIMIT_BYTES:
+        column["SGX-CFL"] = None
+        column["SGX-ICL (no int. tree)"] = None
+    else:
+        cfl_ns = (
+            cpu_plain_ns * SGX_CFL.cache_resident_factor
+            + sgx_slowdown(SGX_CFL, ws, touched, base.total_ns)
         )
-        if ws > SGX_MALLOC_LIMIT_BYTES:
-            speedups["SGX-CFL"][name] = None
-            speedups["SGX-ICL (no int. tree)"][name] = None
-        else:
-            cfl_ns = (
-                cpu_plain_ns * SGX_CFL.cache_resident_factor
-                + sgx_slowdown(SGX_CFL, ws, touched, base.total_ns)
-            )
-            icl_ns = (
-                cpu_plain_ns * SGX_ICL.cache_resident_factor
-                + sgx_slowdown(SGX_ICL, ws, touched, base.total_ns)
-            )
-            speedups["SGX-CFL"][name] = e2e_base / cfl_ns
-            speedups["SGX-ICL (no int. tree)"][name] = e2e_base / icl_ns
+        icl_ns = (
+            cpu_plain_ns * SGX_ICL.cache_resident_factor
+            + sgx_slowdown(SGX_ICL, ws, touched, base.total_ns)
+        )
+        column["SGX-CFL"] = e2e_base / cfl_ns
+        column["SGX-ICL (no int. tree)"] = e2e_base / icl_ns
+    return name, column
 
-    # -- analytics column ---------------------------------------------------------
+
+def _table3_analytics_cell(item):
+    """The Data Analytics column; must stay picklable."""
+    scale, n_aes_engines = item
+    aes = AesEngineModel(n_engines=n_aes_engines)
     wl = build_analytics_workload(scale)
     base = run_baseline(wl)
     ndp = run_ndp(wl, tag_scheme=TagScheme.ENC_ONLY)
     ver = run_ndp(wl, tag_scheme=TagScheme.VER_ECC)
-    col = "Data Analytics"
-    speedups["unprotected non-NDP"][col] = 1.0
-    speedups["unprotected NDP"][col] = base.total_ns / ndp.ndp_only_ns
-    speedups["SecNDP"][col] = base.total_ns / ver.secndp_ns(aes)
-
+    column: Dict[str, Optional[float]] = {
+        "unprotected non-NDP": 1.0,
+        "unprotected NDP": base.total_ns / ndp.ndp_only_ns,
+        "SecNDP": base.total_ns / ver.secndp_ns(aes),
+    }
     # Paper scale: 500k patients x 10k genes... the DB is 40 MB per the
     # evaluation parameters (m=1024 genes) - inside CFL's EPC, so no
     # paging; both SGX rows are MEE-bandwidth-bound.
@@ -146,7 +147,30 @@ def run_table3(
     )
     cfl_ns = sgx_slowdown(SGX_CFL, min(ws, SGX_CFL.epc_bytes), touched, base.total_ns)
     icl_ns = sgx_slowdown(SGX_ICL, ws, touched, base.total_ns)
-    speedups["SGX-CFL"][col] = base.total_ns / cfl_ns
-    speedups["SGX-ICL (no int. tree)"][col] = base.total_ns / icl_ns
+    column["SGX-CFL"] = base.total_ns / cfl_ns
+    column["SGX-ICL (no int. tree)"] = base.total_ns / icl_ns
+    return "Data Analytics", column
+
+
+def run_table3(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    cpu: CpuModel = CpuModel(),
+    n_aes_engines: int = 12,
+    workers: Optional[int] = None,
+) -> Table3Result:
+    columns = MODELS + ["Data Analytics"]
+    speedups: Dict[str, Dict[str, Optional[float]]] = {s: {} for s in SCENARIOS}
+
+    model_cells = parallel_map(
+        _table3_model_cell,
+        [(name, scale, cpu, n_aes_engines) for name in MODELS],
+        workers=workers,
+    )
+    analytics_cells = parallel_map(
+        _table3_analytics_cell, [(scale, n_aes_engines)], workers=workers
+    )
+    for name, column in model_cells + analytics_cells:
+        for scenario, value in column.items():
+            speedups[scenario][name] = value
 
     return Table3Result(speedups=speedups, columns=columns)

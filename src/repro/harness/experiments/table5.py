@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ...analysis.energy import EnergyRow, normalized_table5, table5_rows
+from ...parallel import parallel_map
 from ..configs import DEFAULT_SCALE, ExperimentScale
 from ..reporting import render_table
 from .common import build_sls_workload, run_baseline, run_ndp, scaled_config
@@ -61,10 +62,19 @@ class Table5Result:
         return table
 
 
+def _table5_traffic_cell(item):
+    """One simulator leg of the traffic cross-check; must stay picklable."""
+    kind, workload = item
+    if kind == "baseline":
+        return kind, run_baseline(workload).total_lines
+    return kind, run_ndp(workload).total_result_lines
+
+
 def run_table5(
     scale: ExperimentScale = DEFAULT_SCALE,
     model: str = "RMC1-small",
     measure_traffic: bool = True,
+    workers: Optional[int] = None,
 ) -> Table5Result:
     pf = scale.pooling_factor
     rows = table5_rows(pf=pf)
@@ -74,11 +84,15 @@ def run_table5(
     if measure_traffic:
         config = scaled_config(model, scale)
         workload = build_sls_workload(config, scale)
-        base = run_baseline(workload)
-        ndp = run_ndp(workload)
-        ndp_bus_lines = ndp.total_result_lines
-        if ndp_bus_lines:
-            measured_ratio = base.total_lines / ndp_bus_lines
+        legs = dict(
+            parallel_map(
+                _table5_traffic_cell,
+                [("baseline", workload), ("ndp", workload)],
+                workers=workers,
+            )
+        )
+        if legs["ndp"]:
+            measured_ratio = legs["baseline"] / legs["ndp"]
     return Table5Result(
         pf=pf, rows=rows, normalized=normalized, measured_io_ratio=measured_ratio
     )

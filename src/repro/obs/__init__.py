@@ -23,6 +23,7 @@ from .metrics import (
     gauge,
     get_registry,
     inc,
+    merge,
     observe_ns,
     reset,
     snapshot,
@@ -32,10 +33,13 @@ from .tracing import (
     clear_trace,
     disable_tracing,
     enable_tracing,
+    ingest_events,
+    set_worker_label,
     span,
     trace_events,
     traced,
     tracing_enabled,
+    worker_label,
     write_trace,
 )
 
@@ -50,8 +54,12 @@ __all__ = [
     "gauge",
     "observe_ns",
     "snapshot",
+    "merge",
     "format_snapshot",
     "span",
+    "set_worker_label",
+    "worker_label",
+    "ingest_events",
     "traced",
     "enable_tracing",
     "disable_tracing",

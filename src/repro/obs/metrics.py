@@ -36,6 +36,7 @@ __all__ = [
     "gauge",
     "observe_ns",
     "snapshot",
+    "merge",
     "format_snapshot",
 ]
 
@@ -66,14 +67,14 @@ class _Timer:
         if ns > self.max_ns:
             self.max_ns = ns
 
-    def stats(self) -> Dict[str, Union[int, float]]:
+    def stats(self, include_samples: bool = False) -> Dict[str, Union[int, float, list]]:
         ordered = sorted(self.samples)
         n = len(ordered)
 
         def pct(q: float) -> int:
             return ordered[min(n - 1, int(q * n))] if n else 0
 
-        return {
+        out: Dict[str, Union[int, float, list]] = {
             "count": self.count,
             "total_ns": self.total_ns,
             "mean_ns": self.total_ns / self.count if self.count else 0.0,
@@ -81,6 +82,29 @@ class _Timer:
             "p95_ns": pct(0.95),
             "max_ns": self.max_ns,
         }
+        if include_samples:
+            out["samples"] = list(self.samples)
+        return out
+
+    def absorb(self, stats: dict) -> None:
+        """Fold another timer's snapshot into this one (cross-process merge).
+
+        Exact aggregates (count/total/max) always merge exactly; the
+        percentile sample ring absorbs the remote ``samples`` list when
+        the snapshot carries one (``snapshot(include_samples=True)``).
+        """
+        remote_count = int(stats.get("count", 0))
+        self.total_ns += int(stats.get("total_ns", 0))
+        self.max_ns = max(self.max_ns, int(stats.get("max_ns", 0)))
+        for ns in stats.get("samples", ()):
+            if self.count < _TIMER_SAMPLES:
+                self.samples.append(int(ns))
+            else:
+                self.samples[self.count % _TIMER_SAMPLES] = int(ns)
+            self.count += 1
+            remote_count -= 1
+        if remote_count > 0:
+            self.count += remote_count
 
 
 class MetricsRegistry:
@@ -119,21 +143,45 @@ class MetricsRegistry:
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         """Plain-dict view: ``{"counters": ..., "gauges": ..., "timers": ...}``.
 
         Timer entries expose ``count / total_ns / mean_ns / p50_ns /
-        p95_ns / max_ns``.  The result is JSON-serialisable as-is.
+        p95_ns / max_ns``.  The result is JSON-serialisable (and
+        picklable) as-is, which is what lets worker processes ship their
+        registries back to the parent.  ``include_samples`` additionally
+        attaches each timer's raw sample ring so :meth:`merge` can
+        preserve percentiles across the process boundary.
         """
         with self._lock:
             return {
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
                 "timers": {
-                    name: timer.stats()
+                    name: timer.stats(include_samples=include_samples)
                     for name, timer in sorted(self._timers.items())
                 },
             }
+
+    def merge(self, snap: dict) -> None:
+        """Aggregate a :meth:`snapshot` from another registry into this one.
+
+        Counters add, gauges take the incoming value (last write wins),
+        timers fold exact aggregates and absorb percentile samples when
+        the snapshot carries them.  This is how per-worker registries
+        drain into the parent process instead of vanishing with the
+        worker (`repro.parallel` calls it on every task return).
+        """
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in snap.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, stats in snap.get("timers", {}).items():
+                timer = self._timers.get(name)
+                if timer is None:
+                    timer = self._timers[name] = _Timer()
+                timer.absorb(stats)
 
     def reset(self) -> None:
         with self._lock:
@@ -193,8 +241,19 @@ def observe_ns(name: str, ns: int) -> None:
         _REGISTRY.observe_ns(name, ns)
 
 
-def snapshot() -> dict:
-    return _REGISTRY.snapshot()
+def snapshot(include_samples: bool = False) -> dict:
+    return _REGISTRY.snapshot(include_samples=include_samples)
+
+
+def merge(snap: dict) -> None:
+    """Merge a snapshot (e.g. from a worker process) into the global registry.
+
+    Unlike the recording helpers this is *not* gated on :data:`ENABLED`:
+    a drain happens once per parallel task, not on a hot path, and the
+    caller typically captured the snapshot while metrics were enabled in
+    the worker even if the parent toggled them since.
+    """
+    _REGISTRY.merge(snap)
 
 
 def format_snapshot(snap: dict) -> str:

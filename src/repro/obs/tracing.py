@@ -38,6 +38,9 @@ __all__ = [
     "trace_events",
     "clear_trace",
     "write_trace",
+    "set_worker_label",
+    "worker_label",
+    "ingest_events",
     "MAX_TRACE_EVENTS",
 ]
 
@@ -66,6 +69,40 @@ def disable_tracing() -> None:
 
 def tracing_enabled() -> bool:
     return TRACING
+
+
+#: Worker identity stamped into every span's args (None in the parent).
+#: `repro.parallel` sets this in each pool worker so a merged trace shows
+#: which shard produced which phase.
+_WORKER_LABEL = None
+
+
+def set_worker_label(label) -> None:
+    """Tag all subsequently recorded spans with a worker id.
+
+    Call once from a worker-process initializer; ``None`` clears it.
+    """
+    global _WORKER_LABEL
+    _WORKER_LABEL = label
+
+
+def worker_label():
+    return _WORKER_LABEL
+
+
+def ingest_events(events: List[Dict[str, Any]]) -> None:
+    """Append trace events recorded in another process to this buffer.
+
+    Used by the parallel execution engine to drain worker-side spans into
+    the parent's trace; respects :data:`MAX_TRACE_EVENTS` (overflow is
+    counted in ``obs.trace.dropped`` like locally recorded events).
+    """
+    with _events_lock:
+        for event in events:
+            if len(_events) < MAX_TRACE_EVENTS:
+                _events.append(event)
+            else:
+                metrics.inc("obs.trace.dropped")
 
 
 def clear_trace() -> None:
@@ -101,6 +138,9 @@ class _Span:
         dur_ns = end_ns - self._start_ns
         metrics.observe_ns(f"{self.name}.ns", dur_ns)
         if TRACING:
+            args: Dict[str, Any] = {"depth": depth}
+            if _WORKER_LABEL is not None:
+                args["worker"] = _WORKER_LABEL
             event = {
                 "name": self.name,
                 "cat": self.cat,
@@ -109,7 +149,7 @@ class _Span:
                 "dur": dur_ns / 1000.0,
                 "pid": os.getpid(),
                 "tid": threading.get_ident() % 0xFFFF,
-                "args": {"depth": depth},
+                "args": args,
             }
             with _events_lock:
                 if len(_events) < MAX_TRACE_EVENTS:

@@ -1,0 +1,30 @@
+"""Process-pool execution engine for SecNDP serving and harness sweeps.
+
+Two entry points:
+
+* :class:`ParallelSlsEngine` — shards a loaded
+  :class:`~repro.workloads.secure_sls.SecureEmbeddingStore` row-wise
+  across a spawn pool whose workers read ciphertext and tags from
+  ``multiprocessing.shared_memory`` arenas, and recombines the
+  arithmetic shares on the trusted side (bit-identical to the
+  sequential path; see DESIGN.md Sec. 10).
+* :func:`parallel_map` — order-preserving fan-out for independent
+  harness cells (figure/table grids), with worker-side metrics and
+  trace events merged back into the parent's :mod:`repro.obs` state.
+
+Worker counts resolve through one policy (:func:`resolve_workers`):
+explicit argument, then ``SECNDP_WORKERS``, then in-process.  Every
+failure mode degrades to the sequential path, never to an error.
+"""
+
+from .engine import ParallelSlsEngine
+from .pmap import default_workers, parallel_map, resolve_workers
+from .shm import shared_memory_available
+
+__all__ = [
+    "ParallelSlsEngine",
+    "parallel_map",
+    "resolve_workers",
+    "default_workers",
+    "shared_memory_available",
+]

@@ -1,0 +1,368 @@
+"""Sharded SecNDP serving engine over a spawn pool + shared memory.
+
+:class:`ParallelSlsEngine` wraps a loaded
+:class:`~repro.workloads.secure_sls.SecureEmbeddingStore` and serves its
+``sls_many`` batches across N worker processes:
+
+* **Arena layout** — each table's ciphertext matrix and packed per-row
+  tags are copied once into ``multiprocessing.shared_memory`` segments
+  (:mod:`repro.parallel.shm`); every worker maps the same pages
+  zero-copy.  Ciphertext and encrypted tags are untrusted/public data in
+  the threat model, so sharing them wholesale leaks nothing.
+* **Key broadcast** — the pool initializer rebuilds a
+  :class:`~repro.core.protocol.SecNDPProcessor` (key + params travel
+  exactly once, at pool start) and an
+  :class:`~repro.core.protocol.UntrustedNdpDevice` whose store points at
+  the shared arenas.  Each worker owns a private OTP pad cache.
+* **Row ownership** — rows are partitioned into N contiguous ranges; a
+  batch is served by masking every query down to each worker's range,
+  running :meth:`~repro.core.protocol.SecNDPProcessor.partial_row_sum_batch`
+  per shard, and recombining the shares on the trusted side with
+  :meth:`~repro.core.protocol.SecNDPProcessor.finalize_row_sum_batch`.
+  Ring and field arithmetic are exact, so the recombined totals are
+  bit-identical to the sequential path for any worker count.
+* **Degradation** — construction falls back to ``workers = 0``
+  (in-process delegation to the store) whenever shared memory is
+  unavailable or the pool fails its startup ping, so the engine is
+  always safe to instantiate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..core.checksum import MultiPointChecksum
+from ..core.encryption import EncryptedMatrix
+from ..core.protocol import PartialSumShare, SecNDPProcessor, UntrustedNdpDevice
+from ..crypto.otp import OtpCacheInfo, merge_cache_info
+from .pmap import POOL_START_TIMEOUT, resolve_workers
+from .shm import (
+    ArraySpec,
+    attach_shared_array,
+    create_shared_array,
+    pack_tags,
+    shared_memory_available,
+    unpack_tags,
+)
+
+__all__ = ["ParallelSlsEngine"]
+
+
+class _TableSpec(NamedTuple):
+    """Everything a worker needs to rebuild one table's device view."""
+
+    name: str
+    cipher_spec: ArraySpec
+    tags_spec: Optional[ArraySpec]
+    base_addr: int
+    version: int
+    checksum_version: Optional[int]
+    tag_version: Optional[int]
+
+
+class _PoolSpec(NamedTuple):
+    """One-time broadcast at pool start: key, params, table handles."""
+
+    key: bytes
+    params: object
+    multipoint: bool
+    tables: Tuple[_TableSpec, ...]
+
+
+# -- worker side ---------------------------------------------------------------
+
+_WORKER: Optional[dict] = None
+
+
+def _engine_worker_init(spec: _PoolSpec, counter) -> None:
+    """Pool initializer: attach arenas, rebuild protocol parties."""
+    global _WORKER
+    with counter.get_lock():
+        wid = counter.value
+        counter.value += 1
+    obs.set_worker_label(wid)
+    processor = SecNDPProcessor(
+        spec.key, spec.params, multipoint_checksum=spec.multipoint
+    )
+    device = UntrustedNdpDevice(spec.params)
+    segments = []
+    for table in spec.tables:
+        ciphertext, seg = attach_shared_array(table.cipher_spec)
+        segments.append(seg)
+        tags = None
+        if table.tags_spec is not None:
+            packed, tag_seg = attach_shared_array(table.tags_spec)
+            segments.append(tag_seg)
+            tags = unpack_tags(packed)
+        device.store(
+            table.name,
+            EncryptedMatrix(
+                ciphertext=ciphertext,
+                base_addr=table.base_addr,
+                version=table.version,
+                params=spec.params,
+                tags=tags,
+                checksum_version=table.checksum_version,
+                tag_version=table.tag_version,
+            ),
+        )
+    _WORKER = {
+        "wid": wid,
+        "processor": processor,
+        "device": device,
+        "segments": segments,
+    }
+
+
+def _engine_ping(_: int) -> bool:
+    return _WORKER is not None
+
+
+def _engine_sls_task(args):
+    """One shard's share of a batch; runs on a pool worker."""
+    name, sub_rows, sub_weights, with_tags, collect_metrics, collect_trace = args
+    if collect_metrics:
+        obs.enable()
+    if collect_trace:
+        obs.enable_tracing()
+    processor: SecNDPProcessor = _WORKER["processor"]
+    device: UntrustedNdpDevice = _WORKER["device"]
+    with obs.span("parallel.shard"):
+        part = processor.partial_row_sum_batch(
+            device, name, sub_rows, sub_weights, with_tag_shares=with_tags
+        )
+    snap = obs.snapshot(include_samples=True) if collect_metrics else None
+    events = obs.trace_events() if collect_trace else None
+    if collect_metrics:
+        obs.reset()
+    if collect_trace:
+        obs.clear_trace()
+    cache = processor.encryptor.otp.cache_info()
+    return _WORKER["wid"], part.values, part.tag_shares, snap, events, cache
+
+
+# -- trusted / parent side -----------------------------------------------------
+
+
+class ParallelSlsEngine:
+    """Serve a store's batched SLS queries across a worker pool.
+
+    Parameters
+    ----------
+    store:
+        A loaded :class:`SecureEmbeddingStore`; tables added *after*
+        engine construction are served in-process only.
+    workers:
+        Worker count; ``None`` defers to ``SECNDP_WORKERS`` (else 0) via
+        :func:`~repro.parallel.pmap.resolve_workers`.  ``0`` delegates
+        every call straight to ``store.sls_many`` — identical behaviour,
+        no processes, no shared memory.
+
+    Use as a context manager (or call :meth:`close`) so the pool and the
+    shared segments are released deterministically.
+    """
+
+    def __init__(self, store, workers: Optional[int] = None):
+        self.store = store
+        self.workers = resolve_workers(workers)
+        self._pool = None
+        self._segments: list = []
+        self._bounds: Dict[str, np.ndarray] = {}
+        self._worker_cache: Dict[int, OtpCacheInfo] = {}
+        self._closed = False
+        if self.workers >= 1:
+            if not shared_memory_available():
+                obs.inc("parallel.engine.fallback")
+                self.workers = 0
+            else:
+                try:
+                    self._start_pool()
+                except Exception:
+                    self._teardown()
+                    obs.inc("parallel.engine.fallback")
+                    self.workers = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _start_pool(self) -> None:
+        store = self.store
+        table_specs: List[_TableSpec] = []
+        for name in store.tables():
+            enc = store.device.stored(name)
+            cipher_spec, seg = create_shared_array(enc.ciphertext)
+            self._segments.append(seg)
+            tags_spec = None
+            if enc.tags is not None:
+                tags_spec, tag_seg = create_shared_array(pack_tags(enc.tags))
+                self._segments.append(tag_seg)
+            table_specs.append(
+                _TableSpec(
+                    name=name,
+                    cipher_spec=cipher_spec,
+                    tags_spec=tags_spec,
+                    base_addr=enc.base_addr,
+                    version=enc.version,
+                    checksum_version=enc.checksum_version,
+                    tag_version=enc.tag_version,
+                )
+            )
+            n_rows = store._tables[name].n_rows
+            self._bounds[name] = np.linspace(
+                0, n_rows, self.workers + 1
+            ).astype(np.int64)
+        spec = _PoolSpec(
+            key=store.processor.cipher.key,
+            params=store.processor.params,
+            multipoint=isinstance(store.processor.checksum, MultiPointChecksum),
+            tables=tuple(table_specs),
+        )
+        ctx = mp.get_context("spawn")
+        counter = ctx.Value("i", 0)
+        self._pool = ctx.Pool(
+            processes=self.workers,
+            initializer=_engine_worker_init,
+            initargs=(spec, counter),
+        )
+        # Health check: a crash-looping spawn (broken __main__ etc.)
+        # would otherwise hang the first real query forever.
+        self._pool.map_async(_engine_ping, range(self.workers)).get(
+            timeout=POOL_START_TIMEOUT
+        )
+        obs.gauge("parallel.engine.workers", self.workers)
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:
+                pass
+            self._pool = None
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:
+                pass
+        self._segments = []
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared arenas (idempotent)."""
+        if not self._closed:
+            self._teardown()
+            self._closed = True
+
+    def __enter__(self) -> "ParallelSlsEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- serving ---------------------------------------------------------------
+
+    def sls_many(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+    ) -> np.ndarray:
+        """Batched verified SLS, sharded across the pool.
+
+        Validation (overflow budget, weight sanity) runs on the trusted
+        side via the store's shared ``_validate_query`` helper before any
+        work is dispatched; verification runs on the recombined totals.
+        Bit-identical to ``store.sls_many`` for every worker count.
+        """
+        store = self.store
+        if self.workers == 0 or self._pool is None or name not in self._bounds:
+            return store.sls_many(name, batch_rows, batch_weights)
+        entry = store._tables[name]
+        rows_list, weights_list = store._validate_batch(name, batch_rows, batch_weights)
+
+        n_rows = entry.n_rows
+        norm_rows = []
+        for rows in rows_list:
+            arr = np.asarray(rows, dtype=np.int64)
+            # Same contract as the store path (EncryptedMatrix indexing):
+            # no negative-index wrapping, fail before dispatching work.
+            if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= n_rows):
+                bad = int(arr[(arr < 0) | (arr >= n_rows)][0])
+                raise IndexError(f"row {bad} out of range [0, {n_rows})")
+            norm_rows.append(arr)
+
+        bounds = self._bounds[name]
+        collect_metrics = obs.enabled()
+        collect_trace = obs.tracing_enabled()
+        tasks = []
+        for w in range(self.workers):
+            lo, hi = int(bounds[w]), int(bounds[w + 1])
+            sub_rows: List[List[int]] = []
+            sub_weights: List[List[int]] = []
+            owned = 0
+            for arr, weights in zip(norm_rows, weights_list):
+                mask = (arr >= lo) & (arr < hi)
+                owned += int(mask.sum())
+                sub_rows.append(arr[mask].tolist())
+                sub_weights.append(
+                    [weights[k] for k in np.flatnonzero(mask)]
+                )
+            # A shard that owns no row of the batch would return pure
+            # ring/field identities (zero values, zero tag shares) - an
+            # exact no-op under recombination, so skip the round trip.
+            if owned == 0:
+                continue
+            tasks.append(
+                (name, sub_rows, sub_weights, store.verify, collect_metrics, collect_trace)
+            )
+        if not tasks:
+            # Every query was empty; the store path answers identically
+            # (all-zero pools scaled by the table's affine params).
+            return store.sls_many(name, batch_rows, batch_weights)
+
+        obs.inc("parallel.batch.calls")
+        obs.inc("parallel.batch.queries", len(rows_list))
+        with obs.span("parallel.batch"):
+            payloads = self._pool.map(_engine_sls_task, tasks)
+
+        partials: List[PartialSumShare] = []
+        for wid, values, tag_shares, snap, events, cache in payloads:
+            if snap is not None:
+                obs.merge(snap)
+            if events:
+                obs.ingest_events(events)
+            self._worker_cache[wid] = cache
+            partials.append(PartialSumShare(values=values, tag_shares=tag_shares))
+
+        enc = store.device.stored(name)
+        with obs.span("parallel.finalize"):
+            results = store.processor.finalize_row_sum_batch(
+                enc, name, partials, verify=store.verify
+            )
+        out = np.zeros((len(rows_list), entry.dim))
+        for i, (result, weights) in enumerate(zip(results, weights_list)):
+            pooled_q = result.values.astype(np.float64)[: entry.dim]
+            out[i] = pooled_q * entry.scale + entry.bias * float(sum(weights))
+        return out
+
+    # -- introspection ---------------------------------------------------------
+
+    def cache_info(self) -> OtpCacheInfo:
+        """Fleet-wide OTP pad-cache statistics.
+
+        Merges the parent store's generator with the last-reported state
+        of every worker's private cache (workers report alongside each
+        task result, so the numbers trail in-flight work by one batch).
+        """
+        infos = [self.store.processor.encryptor.otp.cache_info()]
+        infos.extend(self._worker_cache[w] for w in sorted(self._worker_cache))
+        return merge_cache_info(infos)

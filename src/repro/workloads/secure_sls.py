@@ -141,6 +141,57 @@ class SecureEmbeddingStore:
         per_term = max(entry.max_quant, 1) * max(max_weight, 1)
         return max((self.processor.ring.modulus - 1) // per_term, 0)
 
+    def _validate_query(
+        self,
+        name: str,
+        rows: Sequence[int],
+        weights: Optional[Sequence[int]],
+    ) -> Tuple[List[int], List[int]]:
+        """Shared per-query checks: weight sanity + overflow budget.
+
+        Returns the normalised ``(rows, weights)`` lists.  Used by
+        :meth:`sls`, :meth:`sls_many` and the sharded engine in
+        ``repro.parallel`` so the overflow budget of Thm. A.2 is enforced
+        identically on every serving path.
+        """
+        rows = [int(r) for r in rows]
+        if weights is None:
+            weights = [1] * len(rows)
+        else:
+            weights = [int(w) for w in weights]
+        if any(w < 0 for w in weights):
+            raise ConfigurationError("weights must be non-negative integers")
+        if len(weights) != len(rows):
+            raise ConfigurationError("rows and weights must have equal length")
+        max_w = max(weights, default=1)
+        if len(rows) > self.max_pooling_factor(name, max_w):
+            raise ConfigurationError(
+                f"pooling factor {len(rows)} with max weight {max_w} may "
+                f"overflow Z(2^{self.processor.params.element_bits}) for "
+                f"table {name!r}; split the query"
+            )
+        return rows, weights
+
+    def _validate_batch(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]],
+    ) -> Tuple[List[List[int]], List[List[int]]]:
+        """:meth:`_validate_query` over a whole batch."""
+        if batch_weights is not None and len(batch_weights) != len(batch_rows):
+            raise ConfigurationError(
+                "batch_rows and batch_weights must have equal length"
+            )
+        rows_list: List[List[int]] = []
+        weights_list: List[List[int]] = []
+        for i, rows in enumerate(batch_rows):
+            weights = batch_weights[i] if batch_weights is not None else None
+            rows, weights = self._validate_query(name, rows, weights)
+            rows_list.append(rows)
+            weights_list.append(weights)
+        return rows_list, weights_list
+
     # -- queries -----------------------------------------------------------------------
 
     def sls(
@@ -157,23 +208,10 @@ class SecureEmbeddingStore:
         ring residues; Sec. IV-A).
         """
         entry = self._tables[name]
-        if weights is None:
-            weights = [1] * len(rows)
-        weights = [int(w) for w in weights]
-        if any(w < 0 for w in weights):
-            raise ConfigurationError("weights must be non-negative integers")
-        if len(weights) != len(rows):
-            raise ConfigurationError("rows and weights must have equal length")
-        max_w = max(weights, default=1)
-        if len(rows) > self.max_pooling_factor(name, max_w):
-            raise ConfigurationError(
-                f"pooling factor {len(rows)} with max weight {max_w} may "
-                f"overflow Z(2^{self.processor.params.element_bits}) for "
-                f"table {name!r}; split the query"
-            )
+        rows, weights = self._validate_query(name, rows, weights)
         obs.inc("sls.queries")
         result = self.processor.weighted_row_sum(
-            self.device, name, list(rows), weights, verify=self.verify
+            self.device, name, rows, weights, verify=self.verify
         )
         pooled_q = result.values.astype(np.float64)[: entry.dim]
         return pooled_q * entry.scale + entry.bias * float(sum(weights))
@@ -229,27 +267,7 @@ class SecureEmbeddingStore:
         inference-batch hot path.
         """
         entry = self._tables[name]
-        rows_list = [list(rows) for rows in batch_rows]
-        if batch_weights is None:
-            weights_list = [[1] * len(rows) for rows in rows_list]
-        else:
-            if len(batch_weights) != len(rows_list):
-                raise ConfigurationError(
-                    "batch_rows and batch_weights must have equal length"
-                )
-            weights_list = [[int(w) for w in ws] for ws in batch_weights]
-        for rows, weights in zip(rows_list, weights_list):
-            if any(w < 0 for w in weights):
-                raise ConfigurationError("weights must be non-negative integers")
-            if len(weights) != len(rows):
-                raise ConfigurationError("rows and weights must have equal length")
-            max_w = max(weights, default=1)
-            if len(rows) > self.max_pooling_factor(name, max_w):
-                raise ConfigurationError(
-                    f"pooling factor {len(rows)} with max weight {max_w} may "
-                    f"overflow Z(2^{self.processor.params.element_bits}) for "
-                    f"table {name!r}; split the query"
-                )
+        rows_list, weights_list = self._validate_batch(name, batch_rows, batch_weights)
         if obs.enabled():
             total_rows = sum(len(rows) for rows in rows_list)
             unique_rows = len({r for rows in rows_list for r in rows})
