@@ -11,7 +11,9 @@ Also reports the metrics-ON wall time of the same sections, so the
 enabled-mode overhead stays visible in CI logs, and checks that a
 ``ParallelSlsEngine`` forced to ``--workers 0`` serves ``sls_many``
 within a small envelope of the plain in-process store path — the
-degraded engine is pure delegation and must stay free.
+degraded engine is pure delegation and must stay free.  A third check
+serves the same batch with the fault-injection hooks in their disabled
+states and fails if they cost more than 2% over a hook-free serve.
 
 Usage::
 
@@ -101,6 +103,80 @@ def _check_workers0_envelope(sizes, tolerance: float) -> bool:
     return True
 
 
+def _check_fault_hook_overhead(sizes, limit_fraction: float = 0.02) -> bool:
+    """Fault-injection hooks must be ~free when disabled.
+
+    Serves the same ``sls_many`` batch (best of 9, back to back in this
+    process) under three hook states:
+
+    * no injector installed (the production default — one module-global
+      load + ``is None`` check per hook site);
+    * an injector installed but not armed (what a recovery-enabled
+      process looks like outside its offload windows);
+    * an injector installed *and armed* with an all-zero-rate plan (every
+      site takes the slow guard but no fault ever fires).
+
+    Both non-default states must stay within ``limit_fraction`` (2%) of
+    the default — the ceiling on what the hooks can cost any hot path.
+    """
+    import numpy as np
+
+    from bench_hotpaths import KEY, _best_of
+    from repro.core.params import SecNDPParams
+    from repro.core.protocol import SecNDPProcessor, UntrustedNdpDevice
+    from repro.faults import FaultInjector, FaultPlan, hooks
+    from repro.workloads.secure_sls import SecureEmbeddingStore
+
+    params = SecNDPParams(element_bits=32)
+    store = SecureEmbeddingStore(
+        SecNDPProcessor(KEY, params), UntrustedNdpDevice(params), quantization="table"
+    )
+    rng = np.random.default_rng(11)
+    n_rows = min(sizes["n_rows"], 2_048)
+    store.add_table("emb", rng.normal(size=(n_rows, sizes["dim"])))
+    pf = min(sizes["pf"], store.max_pooling_factor("emb"))
+    batch_rows = [
+        list(rng.integers(0, min(2 * pf, n_rows), size=pf))
+        for _ in range(sizes["batch"])
+    ]
+    serve = lambda: store.sls_many("emb", batch_rows)  # noqa: E731
+    serve()  # warm the OTP pad cache so no state favours either config
+
+    hooks.clear()
+    t_none, out_none = _best_of(serve, repeats=9)
+
+    injector = FaultInjector(FaultPlan(rates={}, name="zero-rate"))
+    hooks.install(injector)
+    try:
+        t_disarmed, out_disarmed = _best_of(serve, repeats=9)
+        injector.arm()
+        try:
+            t_armed, out_armed = _best_of(serve, repeats=9)
+        finally:
+            injector.disarm()
+    finally:
+        hooks.clear()
+
+    assert np.array_equal(out_none, out_disarmed), "disarmed hooks changed results"
+    assert np.array_equal(out_none, out_armed), "zero-rate armed hooks changed results"
+
+    ok = True
+    limit = 1.0 + limit_fraction
+    for label, t in (("installed", t_disarmed), ("armed zero-rate", t_armed)):
+        ratio = t / t_none if t_none else float("inf")
+        print(
+            f"fault hooks {label}: {t*1e3:.1f} ms vs none {t_none*1e3:.1f} ms "
+            f"({(ratio - 1) * 100:+.1f}%; limit +{limit_fraction:.0%})"
+        )
+        if ratio > limit:
+            print(
+                f"FAIL: fault hooks ({label}) cost {ratio:.3f}x the "
+                f"hook-free serve (limit {limit:.2f}x)"
+            )
+            ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -133,6 +209,9 @@ def main(argv=None) -> int:
     )
 
     if not _check_workers0_envelope(sizes, args.tolerance):
+        return 1
+
+    if not _check_fault_hook_overhead(sizes):
         return 1
 
     baseline_path = Path(args.baseline)

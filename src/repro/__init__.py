@@ -36,9 +36,10 @@ Quickstart::
     )
 """
 
-from . import analysis, baselines, core, crypto, harness, memsim, ndp, obs, workloads
+from . import analysis, baselines, core, crypto, faults, harness, memsim, ndp, obs, workloads
 from .errors import (
     ConfigurationError,
+    RecoveryExhaustedError,
     SecNDPError,
     VerificationError,
     VersionBudgetError,
@@ -52,12 +53,14 @@ __all__ = [
     "baselines",
     "core",
     "crypto",
+    "faults",
     "harness",
     "memsim",
     "ndp",
     "obs",
     "workloads",
     "ConfigurationError",
+    "RecoveryExhaustedError",
     "SecNDPError",
     "VerificationError",
     "VersionBudgetError",

@@ -8,6 +8,8 @@ Usage::
     python -m repro all --scale smoke
     python -m repro table3 --scale smoke --stats --trace trace.json
     python -m repro fig7 --scale paper --workers 4
+    python -m repro chaos --fault-rate 1e-3 --workers 2
+    python -m repro chaos --plan ci-default
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md Sec. 4 for the experiment index).  ``--stats`` prints the
@@ -30,6 +32,9 @@ import time
 from typing import Dict
 
 from . import obs
+from .errors import ConfigurationError
+from .faults import FaultPlan
+from .harness.chaos import default_chaos_plan, run_chaos
 from .harness.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
 from .parallel import default_workers
 from .harness.experiments import (
@@ -129,6 +134,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect metrics during the run and print the registry snapshot",
     )
     parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=1e-3,
+        metavar="P",
+        help="chaos only: per-element ciphertext/tag corruption rate "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="SPEC",
+        help="chaos only: fault plan - a preset name (ci-default, "
+        "memory-storm, paper-5e3) or 'kind=rate,...'; overrides --fault-rate",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -148,12 +168,13 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name, (description, _) in sorted(EXPERIMENTS.items()):
             print(f"  {name:8s} {description}")
+        print("  chaos    evaluation workload under fault injection + recovery")
         return 0
 
-    if args.experiment not in EXPERIMENTS and args.experiment != "all":
+    if args.experiment not in EXPERIMENTS and args.experiment not in ("all", "chaos"):
         return _fail(
             f"unknown experiment {args.experiment!r} "
-            f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, list)"
+            f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, chaos, list)"
         )
     if args.scale not in _SCALES:
         return _fail(
@@ -172,6 +193,47 @@ def main(argv=None) -> int:
     workers = args.workers if args.workers is not None else default_workers()
     if workers < 0:
         return _fail(f"--workers must be >= 0, got {workers}")
+
+    if args.experiment == "chaos":
+        try:
+            plan = (
+                FaultPlan.parse(args.plan)
+                if args.plan
+                else default_chaos_plan(args.fault_rate)
+            )
+        except ConfigurationError as exc:
+            return _fail(str(exc))
+        scale = _SCALES[args.scale]
+        # Sharded chaos serving is opt-in: the run is a functional-stack
+        # replay, so default to in-process unless --workers was given.
+        chaos_workers = args.workers if args.workers is not None else 0
+        print(
+            f"== chaos: fault injection + recovery replay "
+            f"(scale={scale.name}, plan={plan.name}) =="
+        )
+        started = time.time()
+        try:
+            with obs.span("experiment.chaos", cat="harness"):
+                result = run_chaos(scale, plan=plan, workers=chaos_workers)
+            print(result.render())
+            print(f"[chaos finished in {time.time() - started:.1f}s]\n")
+            if args.stats:
+                print("== metrics ==")
+                print(obs.format_snapshot(obs.snapshot()))
+            if args.trace is not None:
+                path = obs.write_trace(args.trace)
+                print(f"trace written to {path}")
+        finally:
+            if collect and not was_enabled:
+                obs.disable()
+            if args.trace is not None and not was_tracing:
+                obs.disable_tracing()
+        if result.detection_rate < 1.0 or result.mismatched:
+            return _fail(
+                f"chaos run failed: detection rate "
+                f"{result.detection_rate:.3f}, {result.mismatched} mismatches"
+            )
+        return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     scale = _SCALES[args.scale]

@@ -23,7 +23,7 @@ verification detects it.  Applications are expected to budget
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -31,7 +31,8 @@ import numpy as np
 from .. import obs
 from ..crypto import limb_field
 from ..crypto.tweaked import TweakedCipher
-from ..errors import VerificationError
+from ..errors import ConfigurationError, VerificationError
+from ..faults import hooks as fault_hooks
 from .checksum import LinearChecksum, MultiPointChecksum
 from .encryption import ArithmeticEncryptor, EncryptedMatrix
 from .mac import EncryptedLinearMac
@@ -122,6 +123,9 @@ class UntrustedNdpDevice:
         if self._result_delta is not None:
             result = result.copy()
             result[0] = self.ring.add(result[0], self._result_delta)
+        inj = fault_hooks.armed_injector()
+        if inj is not None:
+            result = inj.perturb_result(self.ring, result, "device.row_sum")
         return result
 
     def weighted_element_sum(
@@ -137,6 +141,9 @@ class UntrustedNdpDevice:
         total = self.ring.dot(np.asarray(weights), elems[:, None])[0]
         if self._result_delta is not None:
             total = self.ring.add(total, self._result_delta)
+        inj = fault_hooks.armed_injector()
+        if inj is not None:
+            total = inj.perturb_scalar_result(self.ring, int(total), "device.element_sum")
         return int(total)
 
     def weighted_tag_sum(
@@ -145,7 +152,7 @@ class UntrustedNdpDevice:
         """``C_{T_res} = sum_k a_k * C_{T_k} mod q`` (Alg. 5 line 15)."""
         enc = self._store[name]
         if enc.tags is None:
-            raise ValueError(f"matrix {name!r} stored without tags")
+            raise ConfigurationError(f"matrix {name!r} stored without tags")
         tag_values = [enc.tags[int(i)] for i in rows]
         # Identical math to an unprotected NDP PU; the limb-vectorized
         # dot only changes how fast the functional model computes it.
@@ -154,6 +161,9 @@ class UntrustedNdpDevice:
         )
         if self._tag_delta is not None:
             result = self.field.add(result, self._tag_delta)
+        inj = fault_hooks.armed_injector()
+        if inj is not None:
+            result = inj.perturb_tag(self.field, result, "device.tag_sum")
         return result
 
     # -- adversarial hooks -----------------------------------------------------
@@ -179,7 +189,7 @@ class UntrustedNdpDevice:
         """Replace a stored tag with a stale value (replay attack)."""
         enc = self._store[name]
         if enc.tags is None:
-            raise ValueError("no tags to replay")
+            raise ConfigurationError("no tags to replay")
         enc.tags[i] = stale_tag
 
 
@@ -250,6 +260,26 @@ class SecNDPProcessor:
                 )
         return encrypted
 
+    # -- fault-injection view ---------------------------------------------------
+
+    @staticmethod
+    def _pad_source(enc: EncryptedMatrix) -> EncryptedMatrix:
+        """The matrix view pads are regenerated from.
+
+        Normally ``enc`` itself; under an armed fault injector the OTP
+        counter version may be flipped (a version-management fault,
+        Sec. V-A) so the regenerated pads no longer match the ciphertext
+        and verification must trip.  One ``is None`` check when faults
+        are off.
+        """
+        inj = fault_hooks.armed_injector()
+        if inj is None:
+            return enc
+        version = inj.perturb_version(enc.version, "protocol.otp_version")
+        if version == enc.version:
+            return enc
+        return replace(enc, version=version)
+
     # -- queries (T1 in Fig. 4) -------------------------------------------------
 
     def weighted_row_sum(
@@ -276,7 +306,7 @@ class SecNDPProcessor:
 
         # Processor share: same operation over regenerated pads (OTP PU).
         with obs.span("protocol.otp"):
-            pads = self.encryptor.pads_for_rows(enc, rows)
+            pads = self.encryptor.pads_for_rows(self._pad_source(enc), rows)
 
         # The one adder on the critical path (Sec. V-E3).
         with obs.span("protocol.combine"):
@@ -308,7 +338,7 @@ class SecNDPProcessor:
         if batch_weights is None:
             batch_weights = [[1] * len(rows) for rows in batch_rows]
         if len(batch_weights) != len(batch_rows):
-            raise ValueError("batch_rows and batch_weights must have equal length")
+            raise ConfigurationError("batch_rows and batch_weights must have equal length")
         if not batch_rows:
             return []
         enc = device.stored(name)
@@ -339,7 +369,7 @@ class SecNDPProcessor:
         row_pos = {int(r): k for k, r in enumerate(all_rows)}
         # One pad sweep for the union of rows (the AES hot path).
         with obs.span("protocol.otp"):
-            pads = self.encryptor.pads_for_rows(enc, all_rows)
+            pads = self.encryptor.pads_for_rows(self._pad_source(enc), all_rows)
         tag_pads = None
         key = None
         if verify:
@@ -408,7 +438,7 @@ class SecNDPProcessor:
         if batch_weights is None:
             batch_weights = [[1] * len(rows) for rows in batch_rows]
         if len(batch_weights) != len(batch_rows):
-            raise ValueError("batch_rows and batch_weights must have equal length")
+            raise ConfigurationError("batch_rows and batch_weights must have equal length")
         enc = device.stored(name)
         n_cols = int(enc.ciphertext.shape[1])
         values = np.zeros((len(batch_rows), n_cols), dtype=self.ring.dtype)
@@ -428,7 +458,7 @@ class SecNDPProcessor:
             obs.inc("protocol.partial.rows_unique", int(all_rows.size))
         row_pos = {int(r): k for k, r in enumerate(all_rows)}
         with obs.span("protocol.otp"):
-            pads = self.encryptor.pads_for_rows(enc, all_rows)
+            pads = self.encryptor.pads_for_rows(self._pad_source(enc), all_rows)
         tag_pads = None
         if with_tag_shares:
             if enc.tags is None or enc.checksum_version is None:

@@ -8,6 +8,7 @@ __all__ = [
     "VersionReuseError",
     "VersionBudgetError",
     "ConfigurationError",
+    "RecoveryExhaustedError",
 ]
 
 
@@ -45,5 +46,21 @@ class VersionBudgetError(SecNDPError):
     """
 
 
-class ConfigurationError(SecNDPError):
-    """Invalid or inconsistent simulation/scheme configuration."""
+class ConfigurationError(SecNDPError, ValueError):
+    """Invalid or inconsistent simulation/scheme configuration.
+
+    Also a :class:`ValueError`: misconfiguration and shape errors were
+    historically raised bare, so callers that catch ``ValueError`` keep
+    working while new callers can catch the :class:`SecNDPError`
+    hierarchy.
+    """
+
+
+class RecoveryExhaustedError(SecNDPError):
+    """Every rung of the recovery ladder failed for a query.
+
+    A verification failure persisted through retries and the trusted
+    non-NDP recompute could not repair the corrupted rows (no retained
+    plaintext).  Recovering requires restoring the region from a trusted
+    source and re-encrypting it (paper Sec. V-A / V-E3).
+    """

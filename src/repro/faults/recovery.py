@@ -1,0 +1,160 @@
+"""Verification-triggered recovery (what a deployed enclave does next).
+
+The paper stops at the verification-failure interrupt (Sec. V-E3); this
+module models the handler.  A :class:`RecoveryPolicy` configures a
+four-rung ladder, climbed per failing query:
+
+1. **Retry** the offloaded computation (bounded attempts, exponential
+   backoff with deterministic jitter) - recovers transient NDP/bus
+   faults, which re-roll on every attempt.
+2. **Trusted non-NDP recompute**: read every queried row over the bus,
+   verify it *individually* (a PF=1 weighted summation has a full tag
+   identity), and pool on the trusted side - recovers persistent faults
+   in the NDP compute path while still refusing corrupted data.  This is
+   exactly the paper's non-NDP baseline path
+   (:mod:`repro.baselines.non_ndp`) used as the degraded mode.
+3. **Repair + quarantine**: rows whose individual verification fails are
+   truly corrupted in memory; when the enclave retains the plaintext
+   (recovery-enabled stores do), their residues are substituted from it
+   and the rows are quarantined - later queries touching them skip
+   straight to the trusted path.
+4. **Re-encryption** with bumped versions once a table accumulates
+   ``reencrypt_after`` repairs: the region is re-keyed fresh into
+   untrusted memory (Sec. V-A version bump), clearing the quarantine.
+
+Every rung is observable (``recovery.*`` counters / spans) and every
+outcome is recorded in a bounded :class:`RecoveryLog` so chaos harnesses
+can prove detection and recovery rates instead of asserting them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..errors import RecoveryExhaustedError
+
+__all__ = ["RecoveryPolicy", "RecoveryOutcome", "RecoveryLog", "RecoveryExhaustedError"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for the recovery ladder.
+
+    Parameters
+    ----------
+    max_retries:
+        Full re-offload attempts after the first detected failure.
+    backoff_base_s / backoff_factor / jitter:
+        Attempt ``k`` sleeps ``backoff_base_s * backoff_factor**k``
+        scaled by a deterministic jitter in ``[1-jitter, 1+jitter]``
+        (decorrelates retry storms across queries without giving up
+        replayability).
+    quarantine:
+        Quarantine rows that needed plaintext repair; queries touching
+        them skip the NDP path until re-encryption.
+    reencrypt_after:
+        Re-encrypt a table under bumped versions once this many of its
+        rows have been repaired (0/None disables).
+    retain_plaintext:
+        Keep the quantized residues trusted-side at load time; required
+        for rung 3/4.  Costs one plaintext copy of each table.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.002
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    quarantine: bool = True
+    reencrypt_after: Optional[int] = 4
+    retain_plaintext: bool = True
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff_s(self, attempt: int, salt: int = 0) -> float:
+        """Deterministic backoff-with-jitter for retry ``attempt`` (0-based)."""
+        base = self.backoff_base_s * (self.backoff_factor ** attempt)
+        if self.jitter <= 0:
+            return base
+        # Cheap deterministic hash -> [1-jitter, 1+jitter]; no RNG state.
+        h = (attempt * 0x9E3779B1 + salt * 0x85EBCA77) & 0xFFFFFFFF
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * (h / 0xFFFFFFFF))
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """How one query was served under recovery."""
+
+    table: str
+    rows: tuple
+    #: "ok" (verified first try), "retry", "fallback", "repair", or
+    #: "quarantined" (served trusted-side without attempting the offload)
+    resolved_via: str
+    detected: bool          #: at least one VerificationError was raised
+    attempts: int           #: offload attempts (1 = clean first try)
+    repaired_rows: tuple = ()
+
+    @property
+    def recovered(self) -> bool:
+        return self.detected  # every non-raising outcome is a recovery
+
+
+class RecoveryLog:
+    """Bounded per-store log of outcomes plus quarantine/repair state."""
+
+    MAX_OUTCOMES = 100_000
+
+    def __init__(self) -> None:
+        self.outcomes: List[RecoveryOutcome] = []
+        self.quarantined: Dict[str, Set[int]] = {}
+        self.repairs: Dict[str, int] = {}
+        self.reencryptions: Dict[str, int] = {}
+
+    def record(self, outcome: RecoveryOutcome) -> None:
+        if len(self.outcomes) < self.MAX_OUTCOMES:
+            self.outcomes.append(outcome)
+
+    def quarantine_rows(self, table: str, rows: Sequence[int]) -> None:
+        self.quarantined.setdefault(table, set()).update(int(r) for r in rows)
+
+    def quarantined_rows(self, table: str) -> Set[int]:
+        return self.quarantined.get(table, set())
+
+    def clear_quarantine(self, table: str) -> None:
+        self.quarantined.pop(table, None)
+        self.repairs.pop(table, None)
+
+    def note_repairs(self, table: str, n: int) -> int:
+        self.repairs[table] = self.repairs.get(table, 0) + n
+        return self.repairs[table]
+
+    def note_reencryption(self, table: str) -> None:
+        self.reencryptions[table] = self.reencryptions.get(table, 0) + 1
+
+    # -- chaos-harness accounting ---------------------------------------------
+
+    def detected_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.detected)
+
+    def recovered_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.detected and o.recovered)
+
+    def counts_by_resolution(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.resolved_via] = counts.get(o.resolved_via, 0) + 1
+        return counts
+
+    def detection_rate(self, exposed: Callable[[RecoveryOutcome], bool]) -> float:
+        """Fraction of exposed queries whose fault was detected.
+
+        ``exposed`` decides whether a query touched injected damage; the
+        rate over that subset is what Thms. 1-2 bound at 1.0 for
+        tag-covered faults.
+        """
+        hits = [o for o in self.outcomes if exposed(o)]
+        if not hits:
+            return 1.0
+        return sum(1 for o in hits if o.detected) / len(hits)

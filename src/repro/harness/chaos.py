@@ -1,0 +1,293 @@
+"""Chaos harness: evaluation workloads under fault plans (Sec. V-E3).
+
+The paper proves detection (Thms. 1-2); this harness *measures* it, plus
+the recovery behaviour the paper leaves to the enclave.  One run:
+
+1. builds a golden (honest) store and a chaos store over identical
+   tables, and replays the same fig7/table3-style SLS query stream
+   (``random_trace`` with the scale's batch and pooling factor) through
+   both;
+2. corrupts the chaos store's untrusted memory up front per the plan's
+   ``ciphertext_bit`` / ``tag_replay`` rates (the injector reports
+   exactly which rows it damaged), and arms the plan's transient and
+   worker faults around every chaos serve;
+3. serves the chaos stream through the recovery ladder - optionally
+   via :class:`~repro.parallel.engine.ParallelSlsEngine` workers - and
+   compares every pooled vector bit-for-bit against the golden stream;
+4. accounts per query: a query is *exposed* when it touched a corrupted
+   row or a transient fault fired during its serve, and its fault is
+   *detected* when the recovery log shows a verification failure (or a
+   quarantine hit) for it.
+
+Tag-covered faults must reach detection rate 1.0 and recovery rate 1.0
+with zero mismatches (``tests/test_faults.py`` asserts this at the
+acceptance rates); the run's cost shows up as the chaos/golden wall-time
+ratio and in the ``recovery.*`` counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..core.params import SecNDPParams
+from ..core.protocol import SecNDPProcessor, UntrustedNdpDevice
+from ..faults import (
+    TRANSIENT_FAULTS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RecoveryPolicy,
+)
+from ..parallel.engine import ParallelSlsEngine
+from ..workloads.secure_sls import SecureEmbeddingStore
+from ..workloads.traces import random_trace
+from .configs import ExperimentScale
+
+__all__ = ["ChaosResult", "default_chaos_plan", "run_chaos"]
+
+_KEY = bytes(range(16))
+
+
+def default_chaos_plan(fault_rate: float = 1e-3, seed: int = 2022) -> FaultPlan:
+    """Memory faults at ``fault_rate`` plus low-rate transient/worker faults.
+
+    ``fault_rate`` is the per-element (per-tag) corruption probability of
+    the acceptance scenario; the transient rates mirror the ``ci-default``
+    preset so one plan exercises every rung of the ladder.
+    """
+    return FaultPlan(
+        name=f"chaos-{fault_rate:g}",
+        seed=seed,
+        rates={
+            FaultKind.CIPHERTEXT_BIT: fault_rate,
+            FaultKind.TAG_REPLAY: fault_rate,
+            FaultKind.RESULT_SKEW: 0.02,
+            FaultKind.TAG_TAMPER: 0.01,
+            FaultKind.VERSION_FLIP: 0.005,
+            FaultKind.WORKER_RAISE: 0.02,
+        },
+    )
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Detection / recovery accounting of one chaos run."""
+
+    plan: str
+    workers: int
+    tables: int
+    queries: int
+    exposed: int            #: queries that touched injected damage
+    detected: int           #: exposed queries whose fault was detected
+    mismatched: int         #: queries whose result diverged from golden
+    exposed_mismatched: int
+    injected: Dict[str, int]
+    resolutions: Dict[str, int]
+    quarantined: int
+    repairs: int
+    reencryptions: int
+    golden_s: float
+    chaos_s: float
+
+    @property
+    def detection_rate(self) -> float:
+        """Over exposed queries; Thms. 1-2 bound this at 1.0 for
+        tag-covered faults."""
+        return self.detected / self.exposed if self.exposed else 1.0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of exposed queries still served bit-exactly."""
+        if not self.exposed:
+            return 1.0
+        return 1.0 - self.exposed_mismatched / self.exposed
+
+    @property
+    def overhead(self) -> float:
+        """Chaos wall time relative to the honest serve (0 = free)."""
+        if self.golden_s <= 0:
+            return 0.0
+        return self.chaos_s / self.golden_s - 1.0
+
+    def render(self) -> str:
+        inj = ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items())) or "none"
+        res = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.resolutions.items())
+        ) or "none"
+        lines = [
+            f"plan {self.plan} | workers {self.workers} | "
+            f"{self.tables} tables, {self.queries} queries",
+            f"injected: {inj}",
+            f"resolutions: {res}",
+            f"exposed {self.exposed}, detected {self.detected} "
+            f"(detection rate {self.detection_rate:.3f})",
+            f"recovered {self.exposed - self.exposed_mismatched}/{self.exposed} "
+            f"(recovery rate {self.recovery_rate:.3f}), "
+            f"mismatched {self.mismatched}",
+            f"quarantined rows {self.quarantined}, repairs {self.repairs}, "
+            f"re-encryptions {self.reencryptions}",
+            f"latency: golden {self.golden_s * 1e3:.1f} ms, "
+            f"chaos {self.chaos_s * 1e3:.1f} ms "
+            f"(overhead {self.overhead * 100:+.1f}%)",
+        ]
+        return "\n".join(lines)
+
+
+def _transient_query_ids(events, name: str) -> set:
+    """Batch-local query indices whose serve saw a transient fault.
+
+    Context labels are ``"<table>:q<idx>:a<attempt>"`` for per-query
+    serves (the batch-level ``"<table>:batch"`` label marks the
+    optimistic pass, whose failure degrades to labelled per-query
+    serves, so per-query labels are the authoritative exposure record).
+    """
+    ids = set()
+    prefix = f"{name}:q"
+    for ev in events:
+        if ev.kind in TRANSIENT_FAULTS and ev.context.startswith(prefix):
+            ids.add(int(ev.context[len(prefix):].split(":", 1)[0]))
+    return ids
+
+
+def run_chaos(
+    scale: ExperimentScale,
+    plan: Optional[FaultPlan] = None,
+    fault_rate: float = 1e-3,
+    workers: int = 0,
+    n_tables: int = 2,
+    dim: int = 32,
+    rows_per_table: Optional[int] = None,
+    seed: int = 7,
+    policy: Optional[RecoveryPolicy] = None,
+    task_timeout: Optional[float] = None,
+) -> ChaosResult:
+    """One golden-vs-chaos replay; see the module docstring for the shape.
+
+    ``rows_per_table`` defaults to the scale's table size capped at 1024
+    (the harness runs the *functional* stack - real AES, real tags - so
+    chaos runs stay CI-sized).  ``policy`` defaults to a ladder with
+    re-encryption disabled, which keeps the injector's corruption map
+    valid for the whole stream and makes the exposure accounting exact;
+    pass an explicit policy to exercise rung 4 end-to-end.
+    """
+    if plan is None:
+        plan = default_chaos_plan(fault_rate)
+    if rows_per_table is None:
+        rows_per_table = min(scale.rows_per_table, 1024)
+    if policy is None:
+        policy = RecoveryPolicy(backoff_base_s=1e-4, reencrypt_after=None)
+
+    params = SecNDPParams()
+    rng = np.random.default_rng(seed)
+    tables = {
+        f"t{i}": rng.normal(size=(rows_per_table, dim)) for i in range(n_tables)
+    }
+
+    def build(recovery=None, injector=None) -> SecureEmbeddingStore:
+        processor = SecNDPProcessor(_KEY, params)
+        device = UntrustedNdpDevice(params)
+        store = SecureEmbeddingStore(
+            processor, device, recovery=recovery, fault_injector=injector
+        )
+        for name in sorted(tables):
+            store.add_table(name, tables[name])
+        return store
+
+    batches: List[Tuple[str, List[List[int]], List[List[int]]]] = []
+    for i, name in enumerate(sorted(tables)):
+        trace = random_trace(
+            rows_per_table, scale.batch, scale.pooling_factor, seed=seed * 100 + i
+        )
+        batches.append(
+            (
+                name,
+                [list(ix) for ix in trace.indices],
+                [[int(w) for w in ws] for ws in trace.weights],
+            )
+        )
+
+    golden = build()
+    with obs.span("chaos.golden", cat="harness"):
+        started = time.perf_counter()
+        expected = {
+            name: golden.sls_many(name, rows, ws) for name, rows, ws in batches
+        }
+        golden_s = time.perf_counter() - started
+
+    injector = FaultInjector(plan)
+    chaos = build(recovery=policy, injector=injector)
+    corrupted = injector.corrupt_device(chaos.device, sorted(tables))
+
+    # The engine snapshots ciphertext into shared arenas at pool start,
+    # so it is built after the corruption - workers then compute over the
+    # damaged bytes exactly as a compromised DIMM would.
+    engine = (
+        ParallelSlsEngine(chaos, workers=workers, task_timeout=task_timeout)
+        if workers >= 1
+        else None
+    )
+    serve = engine.sls_many if engine is not None else chaos.sls_many
+
+    log = chaos.recovery_log
+    queries = mismatched = exposed = detected = exposed_mismatched = 0
+    started = time.perf_counter()
+    try:
+        with obs.span("chaos.serve", cat="harness"):
+            for name, rows_list, weights_list in batches:
+                n_outcomes = len(log.outcomes)
+                n_events = len(injector.events)
+                got = serve(name, rows_list, weights_list)
+                outcomes = log.outcomes[n_outcomes:]
+                transient_ids = _transient_query_ids(
+                    injector.events[n_events:], name
+                )
+                bad_rows = corrupted.get(name, set())
+                for i, rows in enumerate(rows_list):
+                    queries += 1
+                    ok = bool(np.array_equal(got[i], expected[name][i]))
+                    if not ok:
+                        mismatched += 1
+                    if not (bad_rows.intersection(rows) or i in transient_ids):
+                        continue
+                    exposed += 1
+                    outcome = outcomes[i] if i < len(outcomes) else None
+                    if outcome is not None and (
+                        outcome.detected or outcome.resolved_via == "quarantined"
+                    ):
+                        detected += 1
+                    if not ok:
+                        exposed_mismatched += 1
+    finally:
+        if engine is not None:
+            engine.close()
+    chaos_s = time.perf_counter() - started
+
+    result = ChaosResult(
+        plan=plan.name,
+        workers=workers,
+        tables=n_tables,
+        queries=queries,
+        exposed=exposed,
+        detected=detected,
+        mismatched=mismatched,
+        exposed_mismatched=exposed_mismatched,
+        injected=injector.event_counts(),
+        resolutions=log.counts_by_resolution(),
+        quarantined=sum(len(v) for v in log.quarantined.values()),
+        repairs=sum(log.repairs.values()),
+        reencryptions=sum(log.reencryptions.values()),
+        golden_s=golden_s,
+        chaos_s=chaos_s,
+    )
+    obs.gauge("chaos.detection_rate", result.detection_rate)
+    obs.gauge("chaos.recovery_rate", result.recovery_rate)
+    obs.gauge("chaos.overhead", result.overhead)
+    obs.inc("chaos.queries", queries)
+    obs.inc("chaos.exposed", exposed)
+    obs.inc("chaos.mismatched", mismatched)
+    return result

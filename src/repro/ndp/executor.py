@@ -27,6 +27,7 @@ from ..core.encryption import EncryptedMatrix
 from ..core.engine import SecNDPEngine
 from ..core.protocol import SecNDPProcessor
 from ..errors import ConfigurationError, VerificationError
+from ..faults import hooks as fault_hooks
 from .commands import NdpInst, NdpLd, NdpOp, SecNdpInst, SecNdpLd
 from .dimm import NdpDimm
 
@@ -145,10 +146,21 @@ class SecNdpExecutor:
             if rank not in touched_ranks:
                 touched_ranks.append(rank)
                 self.dimm.pus[rank].clear(reg)
-            # The NDP side executes the *unmodified* command.
-            self.dimm.execute(rank, inst.to_ndp_command())
-            if verify:
-                self.dimm.pus[rank].mac_tag(reg, weight, enc.tags[int(row)])
+            # Command-channel faults: a dropped SecNDPInst never reaches
+            # the rank's PU, a duplicated one executes twice.  Either way
+            # the OTP-PU replica diverges from the NDP share and Alg. 5
+            # must catch it at SecNDPLd time.
+            inj = fault_hooks.armed_injector()
+            cmd_fault = inj.command_fault("executor.inst") if inj is not None else None
+            if cmd_fault != "drop":
+                # The NDP side executes the *unmodified* command.
+                self.dimm.execute(rank, inst.to_ndp_command())
+                if verify:
+                    self.dimm.pus[rank].mac_tag(reg, weight, enc.tags[int(row)])
+                if cmd_fault == "dup":
+                    self.dimm.execute(rank, inst.to_ndp_command())
+                    if verify:
+                        self.dimm.pus[rank].mac_tag(reg, weight, enc.tags[int(row)])
             # The processor side replicates it on the OTP PU.
             self.engine.issue(reg, enc, int(row), weight)
             self._instructions_executed += 1

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..errors import ConfigurationError
+from ..faults import hooks as fault_hooks
 from .aes_engine import AesEngineModel
 from .packets import NdpWorkload
 
@@ -122,6 +123,22 @@ class NearStorageSimulator:
         # link, which is shared across channels.
         link_us = pages_read * geo.page_bytes / geo.host_link_gbps / 1000.0
         host_us = max(busiest * per_page_us + geo.page_read_us, link_us)
+
+        # Fault injection: dropped command packets force page re-reads,
+        # duplicates re-execute transfers, delays stall the pipeline.
+        # These are liveness faults on the command channel (the data
+        # faults live in the functional layer); they only cost latency.
+        inj = fault_hooks.armed_injector()
+        if inj is not None:
+            drops, dups, delay_s = inj.packet_faults(pages_read, "storage.run")
+            retried_pages = drops + dups
+            if retried_pages:
+                ndp_us += retried_pages * per_page_us
+                host_us += retried_pages * max(
+                    per_page_us, geo.page_bytes / geo.host_link_gbps / 1000.0
+                )
+            ndp_us += delay_s * 1e6
+            host_us += delay_s * 1e6
 
         otp_blocks = -(-total_row_bytes // 16)
         return StorageRunResult(

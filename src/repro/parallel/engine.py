@@ -25,11 +25,23 @@
   (in-process delegation to the store) whenever shared memory is
   unavailable or the pool fails its startup ping, so the engine is
   always safe to instantiate.
+* **Liveness hardening** — every batch dispatch carries a deadline
+  (``task_timeout`` / ``SECNDP_TASK_TIMEOUT``): a crashed, hung or
+  raising worker fails the dispatch instead of wedging the parent, the
+  pool is respawned once and the batch retried, and a second failure
+  degrades the engine permanently to in-process serving.  When the
+  wrapped store carries a :class:`~repro.faults.recovery.RecoveryPolicy`,
+  its fault injector supplies per-task worker directives (crash / raise
+  / hang) drawn parent-side from the seeded plan, and verification
+  failures at recombination delegate the batch to the store's recovery
+  ladder.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +51,7 @@ from ..core.checksum import MultiPointChecksum
 from ..core.encryption import EncryptedMatrix
 from ..core.protocol import PartialSumShare, SecNDPProcessor, UntrustedNdpDevice
 from ..crypto.otp import OtpCacheInfo, merge_cache_info
+from ..errors import VerificationError
 from .pmap import POOL_START_TIMEOUT, resolve_workers
 from .shm import (
     ArraySpec,
@@ -49,7 +62,25 @@ from .shm import (
     unpack_tags,
 )
 
-__all__ = ["ParallelSlsEngine"]
+__all__ = ["ParallelSlsEngine", "ENV_TASK_TIMEOUT", "DEFAULT_TASK_TIMEOUT"]
+
+#: Per-batch dispatch deadline in seconds; a crashed or hung worker must
+#: not wedge the parent past this.
+ENV_TASK_TIMEOUT = "SECNDP_TASK_TIMEOUT"
+DEFAULT_TASK_TIMEOUT = 60.0
+
+
+def resolve_task_timeout(value: Optional[float] = None) -> float:
+    """Explicit value, else ``SECNDP_TASK_TIMEOUT``, else the default."""
+    if value is not None:
+        return float(value)
+    raw = os.environ.get(ENV_TASK_TIMEOUT, "").strip()
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_TASK_TIMEOUT
 
 
 class _TableSpec(NamedTuple):
@@ -124,7 +155,25 @@ def _engine_ping(_: int) -> bool:
 
 def _engine_sls_task(args):
     """One shard's share of a batch; runs on a pool worker."""
-    name, sub_rows, sub_weights, with_tags, collect_metrics, collect_trace = args
+    (
+        name,
+        sub_rows,
+        sub_weights,
+        with_tags,
+        collect_metrics,
+        collect_trace,
+        directive,
+    ) = args
+    if directive is not None:
+        # Parent-side fault injection: workers never own an injector (all
+        # randomness lives in one seeded parent stream); they just obey.
+        action = directive[0]
+        if action == "crash":
+            os._exit(3)
+        elif action == "raise":
+            raise RuntimeError("injected worker fault (worker_raise)")
+        elif action == "hang":
+            time.sleep(float(directive[1]))
     if collect_metrics:
         obs.enable()
     if collect_trace:
@@ -161,17 +210,27 @@ class ParallelSlsEngine:
         :func:`~repro.parallel.pmap.resolve_workers`.  ``0`` delegates
         every call straight to ``store.sls_many`` — identical behaviour,
         no processes, no shared memory.
+    task_timeout:
+        Seconds a batch dispatch may take before the pool is declared
+        unhealthy; ``None`` defers to ``SECNDP_TASK_TIMEOUT`` (else 60).
 
     Use as a context manager (or call :meth:`close`) so the pool and the
     shared segments are released deterministically.
     """
 
-    def __init__(self, store, workers: Optional[int] = None):
+    def __init__(
+        self,
+        store,
+        workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+    ):
         self.store = store
         self.workers = resolve_workers(workers)
+        self.task_timeout = resolve_task_timeout(task_timeout)
         self._pool = None
         self._segments: list = []
         self._bounds: Dict[str, np.ndarray] = {}
+        self._versions: Dict[str, int] = {}
         self._worker_cache: Dict[int, OtpCacheInfo] = {}
         self._closed = False
         if self.workers >= 1:
@@ -214,6 +273,10 @@ class ParallelSlsEngine:
             self._bounds[name] = np.linspace(
                 0, n_rows, self.workers + 1
             ).astype(np.int64)
+            # Snapshot of the version the arena was exported under;
+            # re-encryption (recovery rung 4) bumps it, flagging the
+            # shared copy as stale.
+            self._versions[name] = enc.version
         spec = _PoolSpec(
             key=store.processor.cipher.key,
             params=store.processor.params,
@@ -235,20 +298,62 @@ class ParallelSlsEngine:
         obs.gauge("parallel.engine.workers", self.workers)
 
     def _teardown(self) -> None:
+        # Teardown must always complete (a poisoned pool still has to
+        # release its shared segments), but swallowed failures are
+        # counted rather than silently dropped.
         if self._pool is not None:
             try:
                 self._pool.terminate()
                 self._pool.join()
             except Exception:
-                pass
+                obs.inc("parallel.teardown_errors")
             self._pool = None
         for seg in self._segments:
             try:
                 seg.close()
+            except Exception:
+                obs.inc("parallel.teardown_errors")
+            try:
                 seg.unlink()
             except Exception:
-                pass
+                obs.inc("parallel.teardown_errors")
         self._segments = []
+
+    def _respawn(self) -> bool:
+        """Tear the pool down and rebuild it from the store's live state."""
+        obs.inc("parallel.engine.respawns")
+        self._teardown()
+        self._bounds = {}
+        self._versions = {}
+        try:
+            self._start_pool()
+            return True
+        except Exception:
+            self._teardown()
+            return False
+
+    def _degrade(self) -> None:
+        """Give up on the pool for good; serve in-process from now on."""
+        obs.inc("parallel.engine.degraded")
+        self._teardown()
+        self.workers = 0
+
+    def ping(self) -> bool:
+        """True iff the serving path is healthy.
+
+        With a pool, every worker must answer within the startup timeout;
+        without one (``workers == 0``), in-process serving is always
+        healthy.
+        """
+        if self.workers == 0 or self._pool is None:
+            return True
+        try:
+            replies = self._pool.map_async(_engine_ping, range(self.workers)).get(
+                timeout=POOL_START_TIMEOUT
+            )
+            return all(replies)
+        except Exception:
+            return False
 
     def close(self) -> None:
         """Shut the pool down and unlink the shared arenas (idempotent)."""
@@ -286,6 +391,16 @@ class ParallelSlsEngine:
         store = self.store
         if self.workers == 0 or self._pool is None or name not in self._bounds:
             return store.sls_many(name, batch_rows, batch_weights)
+        enc = store.device.stored(name)
+        if enc.version != self._versions.get(name):
+            # The store re-encrypted this table (recovery rung 4) after
+            # the arenas were exported; the workers' shared copy is stale
+            # ciphertext under retired versions.  Rebuild the pool from
+            # the live device before serving.
+            obs.inc("parallel.engine.stale_table")
+            if not self._respawn():
+                self._degrade()
+                return store.sls_many(name, batch_rows, batch_weights)
         entry = store._tables[name]
         rows_list, weights_list = store._validate_batch(name, batch_rows, batch_weights)
 
@@ -303,6 +418,14 @@ class ParallelSlsEngine:
         bounds = self._bounds[name]
         collect_metrics = obs.enabled()
         collect_trace = obs.tracing_enabled()
+        # Worker fault directives are drawn parent-side from the store's
+        # seeded injector - only for recovery-enabled stores, which can
+        # absorb the resulting retries/degradation.
+        injector = (
+            getattr(store, "fault_injector", None)
+            if getattr(store, "recovery", None) is not None
+            else None
+        )
         tasks = []
         for w in range(self.workers):
             lo, hi = int(bounds[w]), int(bounds[w + 1])
@@ -321,8 +444,19 @@ class ParallelSlsEngine:
             # exact no-op under recombination, so skip the round trip.
             if owned == 0:
                 continue
+            directive = (
+                injector.worker_directive("engine.task") if injector is not None else None
+            )
             tasks.append(
-                (name, sub_rows, sub_weights, store.verify, collect_metrics, collect_trace)
+                (
+                    name,
+                    sub_rows,
+                    sub_weights,
+                    store.verify,
+                    collect_metrics,
+                    collect_trace,
+                    directive,
+                )
             )
         if not tasks:
             # Every query was empty; the store path answers identically
@@ -331,8 +465,16 @@ class ParallelSlsEngine:
 
         obs.inc("parallel.batch.calls")
         obs.inc("parallel.batch.queries", len(rows_list))
-        with obs.span("parallel.batch"):
-            payloads = self._pool.map(_engine_sls_task, tasks)
+        payloads = self._dispatch(tasks)
+        if payloads is None:
+            # Dispatch failed (worker crash/hang/exception).  Respawn the
+            # pool once and retry with fault directives stripped - a
+            # retried batch must be able to succeed - then degrade.
+            if self._respawn():
+                payloads = self._dispatch([t[:6] + (None,) for t in tasks])
+            if payloads is None:
+                self._degrade()
+                return store.sls_many(name, batch_rows, batch_weights)
 
         partials: List[PartialSumShare] = []
         for wid, values, tag_shares, snap, events, cache in payloads:
@@ -344,15 +486,36 @@ class ParallelSlsEngine:
             partials.append(PartialSumShare(values=values, tag_shares=tag_shares))
 
         enc = store.device.stored(name)
-        with obs.span("parallel.finalize"):
-            results = store.processor.finalize_row_sum_batch(
-                enc, name, partials, verify=store.verify
-            )
+        try:
+            with obs.span("parallel.finalize"):
+                results = store.processor.finalize_row_sum_batch(
+                    enc, name, partials, verify=store.verify
+                )
+        except VerificationError:
+            if getattr(store, "recovery", None) is None:
+                raise
+            # Sec. V-E3 interrupt on the recombined totals: hand the
+            # batch to the store's recovery ladder (retry -> trusted
+            # recompute -> repair), which serves it bit-exactly.
+            obs.inc("recovery.detections")
+            obs.inc("parallel.engine.recovery_delegations")
+            return store.sls_many(name, batch_rows, batch_weights)
         out = np.zeros((len(rows_list), entry.dim))
         for i, (result, weights) in enumerate(zip(results, weights_list)):
             pooled_q = result.values.astype(np.float64)[: entry.dim]
             out[i] = pooled_q * entry.scale + entry.bias * float(sum(weights))
         return out
+
+    def _dispatch(self, tasks) -> Optional[list]:
+        """One timed fan-out; ``None`` signals an unhealthy pool."""
+        try:
+            with obs.span("parallel.batch"):
+                return self._pool.map_async(_engine_sls_task, tasks).get(
+                    timeout=self.task_timeout
+                )
+        except Exception:
+            obs.inc("parallel.engine.task_failures")
+            return None
 
     # -- introspection ---------------------------------------------------------
 

@@ -11,19 +11,32 @@ The store also enforces the overflow budget of footnote 1 /
 Thm. A.2: at construction it computes the largest pooling factor for
 which `PF * max(a) * max(q)` fits the ring, and rejects larger queries
 up front rather than letting verification fail at runtime.
+
+With a :class:`~repro.faults.recovery.RecoveryPolicy` attached the store
+additionally models what a deployed enclave does *after* the
+verification-failure interrupt of Sec. V-E3: bounded retries, a trusted
+non-NDP recompute with per-row verification, plaintext repair with
+per-row quarantine, and re-encryption of the region under bumped
+versions (DESIGN.md Sec. 11).  Recovery-enabled stores arm the
+process-wide fault injector (:mod:`repro.faults.hooks`) around their
+offload attempts, which is how chaos runs drive faults only into paths
+that can absorb them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .. import obs
 from ..core.params import SecNDPParams
 from ..core.protocol import SecNDPProcessor, UntrustedNdpDevice
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, RecoveryExhaustedError, VerificationError
+from ..faults import hooks as fault_hooks
+from ..faults.plan import FaultInjector
+from ..faults.recovery import RecoveryLog, RecoveryOutcome, RecoveryPolicy
 from .quantization import ColumnwiseQuantizer, TablewiseQuantizer
 
 __all__ = ["SecureEmbeddingStore"]
@@ -57,6 +70,18 @@ class SecureEmbeddingStore:
         Attach tags and verify every query (default True).
     base_addr:
         Start of the arena in untrusted memory where tables are placed.
+    recovery:
+        Optional :class:`RecoveryPolicy`; when set, every query is served
+        through the verification-triggered recovery ladder (retry ->
+        trusted recompute -> repair/quarantine -> re-encryption) instead
+        of letting :class:`VerificationError` propagate.  Requires
+        ``verify=True``.
+    fault_injector:
+        Explicit :class:`FaultInjector` armed around this store's offload
+        attempts.  Defaults to the process-wide injector
+        (:func:`repro.faults.hooks.get`) or the ambient
+        ``SECNDP_FAULT_PLAN`` one; only consulted when ``recovery`` is
+        set - a store that cannot recover is never armed.
     """
 
     def __init__(
@@ -67,10 +92,21 @@ class SecureEmbeddingStore:
         bits: int = 8,
         verify: bool = True,
         base_addr: int = 0x100000,
+        recovery: Optional[RecoveryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if quantization not in ("table", "column"):
             raise ConfigurationError(
                 f"quantization must be 'table' or 'column', got {quantization!r}"
+            )
+        if fault_injector is not None and recovery is None:
+            raise ConfigurationError(
+                "fault_injector requires a RecoveryPolicy (an unrecoverable "
+                "store must never arm fault injection)"
+            )
+        if recovery is not None and not verify:
+            raise ConfigurationError(
+                "recovery requires verify=True (detection drives the ladder)"
             )
         self.processor = processor
         self.device = device
@@ -79,6 +115,17 @@ class SecureEmbeddingStore:
         self.verify = verify
         self._cursor = base_addr
         self._tables: Dict[str, _TableEntry] = {}
+        self.recovery = recovery
+        self.recovery_log = RecoveryLog()
+        self._plain: Dict[str, np.ndarray] = {}
+        if recovery is not None:
+            self.fault_injector = (
+                fault_injector
+                if fault_injector is not None
+                else (fault_hooks.get() or fault_hooks.ambient_injector())
+            )
+        else:
+            self.fault_injector = None
 
     # -- loading ---------------------------------------------------------------
 
@@ -113,6 +160,10 @@ class SecureEmbeddingStore:
             encoded, self._cursor, f"emb/{name}", with_tags=self.verify
         )
         self.device.store(name, enc)
+        if self.recovery is not None and self.recovery.retain_plaintext:
+            # Trusted-side copy of the quantized residues: rung 3 (repair)
+            # and rung 4 (re-encryption) of the recovery ladder need it.
+            self._plain[name] = encoded.copy()
         footprint = encoded.size * self.processor.params.element_bytes
         self._cursor = -(-(self._cursor + footprint) // _BLOCK_BYTES) * _BLOCK_BYTES
 
@@ -210,6 +261,8 @@ class SecureEmbeddingStore:
         entry = self._tables[name]
         rows, weights = self._validate_query(name, rows, weights)
         obs.inc("sls.queries")
+        if self.recovery is not None:
+            return self._serve_query_recovering(name, 0, rows, weights, entry)
         result = self.processor.weighted_row_sum(
             self.device, name, rows, weights, verify=self.verify
         )
@@ -275,6 +328,8 @@ class SecureEmbeddingStore:
             obs.inc("sls.batch.queries", len(rows_list))
             obs.inc("sls.batch.rows_total", total_rows)
             obs.inc("sls.batch.rows_unique", unique_rows)
+        if self.recovery is not None:
+            return self._serve_many_recovering(name, rows_list, weights_list, entry)
         with obs.span("sls.batch"):
             results = self.processor.weighted_row_sum_batch(
                 self.device, name, rows_list, weights_list, verify=self.verify
@@ -310,3 +365,226 @@ class SecureEmbeddingStore:
         enc = self.device.stored(name)
         q = self.processor.decrypt_matrix(enc).astype(np.float64)[:, : entry.dim]
         return q * entry.scale[None, :] + entry.bias[None, :]
+
+    # -- verification-triggered recovery (DESIGN.md Sec. 11) ---------------------------
+
+    @staticmethod
+    def _affine(entry: _TableEntry, values: np.ndarray, weights: Sequence[int]) -> np.ndarray:
+        pooled_q = values.astype(np.float64)[: entry.dim]
+        return pooled_q * entry.scale + entry.bias * float(sum(weights))
+
+    def _serve_many_recovering(
+        self,
+        name: str,
+        rows_list: List[List[int]],
+        weights_list: List[List[int]],
+        entry: _TableEntry,
+    ) -> np.ndarray:
+        """Batched serve under recovery: optimistic amortized path first.
+
+        The whole batch is offloaded through the amortized
+        :meth:`SecNDPProcessor.weighted_row_sum_batch`; on any
+        verification failure the batch degrades to per-query recovery so
+        one faulted query cannot poison its neighbours' results.
+        """
+        quarantined = (
+            self.recovery_log.quarantined_rows(name)
+            if self.recovery.quarantine
+            else set()
+        )
+        if not quarantined or all(
+            quarantined.isdisjoint(rows) for rows in rows_list
+        ):
+            inj = self.fault_injector
+            try:
+                if inj is not None:
+                    inj.set_context(f"{name}:batch")
+                with fault_hooks.armed(inj):
+                    with obs.span("sls.batch"):
+                        results = self.processor.weighted_row_sum_batch(
+                            self.device, name, rows_list, weights_list, verify=True
+                        )
+            except VerificationError:
+                obs.inc("recovery.detections")
+                obs.inc("recovery.batch_degradations")
+            else:
+                out = np.zeros((len(rows_list), entry.dim))
+                for i, (result, weights) in enumerate(zip(results, weights_list)):
+                    out[i] = self._affine(entry, result.values, weights)
+                    self.recovery_log.record(
+                        RecoveryOutcome(
+                            table=name,
+                            rows=tuple(rows_list[i]),
+                            resolved_via="ok",
+                            detected=False,
+                            attempts=1,
+                        )
+                    )
+                return out
+        out = np.zeros((len(rows_list), entry.dim))
+        for i, (rows, weights) in enumerate(zip(rows_list, weights_list)):
+            out[i] = self._serve_query_recovering(name, i, rows, weights, entry)
+        return out
+
+    def _serve_query_recovering(
+        self,
+        name: str,
+        idx: int,
+        rows: List[int],
+        weights: List[int],
+        entry: _TableEntry,
+    ) -> np.ndarray:
+        """One query through the recovery ladder (always ``verify=True``)."""
+        policy = self.recovery
+        inj = self.fault_injector
+        if policy.quarantine and not self.recovery_log.quarantined_rows(
+            name
+        ).isdisjoint(rows):
+            # Rung 3 short-circuit: the query touches known-bad rows, so
+            # the NDP offload would only fail again.  Serve trusted-side.
+            obs.inc("recovery.quarantine_hits")
+            with obs.span("recovery.fallback"):
+                values, repaired = self._trusted_query(name, rows, weights)
+            self.recovery_log.record(
+                RecoveryOutcome(
+                    table=name,
+                    rows=tuple(rows),
+                    resolved_via="quarantined",
+                    detected=bool(repaired),
+                    attempts=0,
+                    repaired_rows=tuple(repaired),
+                )
+            )
+            return self._affine(entry, values, weights)
+
+        detected = False
+        attempts = 0
+        for attempt in range(policy.max_retries + 1):
+            attempts += 1
+            try:
+                if inj is not None:
+                    inj.set_context(f"{name}:q{idx}:a{attempt}")
+                with fault_hooks.armed(inj):
+                    with obs.span("recovery.offload"):
+                        result = self.processor.weighted_row_sum(
+                            self.device, name, rows, weights, verify=True
+                        )
+            except VerificationError:
+                detected = True
+                obs.inc("recovery.detections")
+                if attempt < policy.max_retries:
+                    obs.inc("recovery.retries")
+                    policy.sleep(policy.backoff_s(attempt, salt=idx))
+                continue
+            self.recovery_log.record(
+                RecoveryOutcome(
+                    table=name,
+                    rows=tuple(rows),
+                    resolved_via="retry" if detected else "ok",
+                    detected=detected,
+                    attempts=attempts,
+                )
+            )
+            return self._affine(entry, result.values, weights)
+
+        # Rungs 2/3: retries exhausted -> trusted non-NDP recompute with
+        # per-row verification, repairing rows that are truly corrupted.
+        obs.inc("recovery.fallbacks")
+        with obs.span("recovery.fallback"):
+            values, repaired = self._trusted_query(name, rows, weights)
+        self.recovery_log.record(
+            RecoveryOutcome(
+                table=name,
+                rows=tuple(rows),
+                resolved_via="repair" if repaired else "fallback",
+                detected=True,
+                attempts=attempts,
+                repaired_rows=tuple(repaired),
+            )
+        )
+        return self._affine(entry, values, weights)
+
+    def _trusted_query(
+        self, name: str, rows: List[int], weights: List[int]
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Rung 2/3: per-row verified reads, pooled trusted-side.
+
+        Each distinct row is fetched as a PF=1 weighted sum (which has a
+        full tag identity, so verification pinpoints exactly which rows
+        are corrupted); the pooling happens in the enclave.  Never armed:
+        this is the paper's non-NDP degraded mode and must stay honest.
+        Rows that fail individual verification are repaired from retained
+        plaintext (quarantine + possible re-encryption follow) or, with
+        no plaintext, raise :class:`RecoveryExhaustedError`.
+        """
+        ring = self.processor.ring
+        residues: Dict[int, np.ndarray] = {}
+        bad_rows: List[int] = []
+        for row in sorted(set(rows)):
+            try:
+                result = self.processor.weighted_row_sum(
+                    self.device, name, [row], [1], verify=True
+                )
+            except VerificationError:
+                bad_rows.append(row)
+            else:
+                residues[row] = result.values
+        repaired: List[int] = []
+        if bad_rows:
+            plain = self._plain.get(name)
+            if plain is None:
+                raise RecoveryExhaustedError(
+                    f"rows {bad_rows} of table {name!r} fail verification and "
+                    f"no trusted plaintext is retained "
+                    f"(RecoveryPolicy.retain_plaintext=False)"
+                )
+            obs.inc("recovery.repairs", len(bad_rows))
+            for row in bad_rows:
+                residues[row] = plain[row].copy()
+                repaired.append(row)
+            self._after_repair(name, repaired)
+        n_cols = self.device.stored(name).ciphertext.shape[1]
+        if not rows:
+            return np.zeros(n_cols, dtype=ring.dtype), repaired
+        weights_ring = ring.encode(np.asarray(weights, dtype=np.int64))
+        stacked = np.stack([residues[r] for r in rows])
+        return ring.dot(weights_ring, stacked), repaired
+
+    def _after_repair(self, name: str, repaired_rows: Sequence[int]) -> None:
+        policy = self.recovery
+        if policy.quarantine:
+            self.recovery_log.quarantine_rows(name, repaired_rows)
+        total = self.recovery_log.note_repairs(name, len(repaired_rows))
+        if policy.reencrypt_after and total >= policy.reencrypt_after:
+            self.reencrypt_table(name)
+
+    def quarantined_rows(self, name: str) -> Set[int]:
+        """Rows of ``name`` currently served trusted-side only."""
+        return set(self.recovery_log.quarantined_rows(name))
+
+    def reencrypt_table(self, name: str) -> None:
+        """Rung 4: re-encrypt a table from trusted plaintext, bumped versions.
+
+        The Sec. V-A version bump made operational: fresh data/checksum/
+        tag versions are drawn from the processor's
+        :class:`~repro.core.versions.VersionManager`, the region is
+        re-encrypted wholesale into untrusted memory, and the table's
+        quarantine is cleared - the persistent damage is gone.  Requires
+        retained plaintext.
+        """
+        plain = self._plain.get(name)
+        if plain is None:
+            raise ConfigurationError(
+                f"cannot re-encrypt table {name!r}: no trusted plaintext "
+                f"retained (load it under a RecoveryPolicy with "
+                f"retain_plaintext=True)"
+            )
+        old = self.device.stored(name)
+        obs.inc("recovery.reencryptions")
+        with obs.span("recovery.reencrypt"):
+            enc = self.processor.encrypt_matrix(
+                plain, old.base_addr, f"emb/{name}", with_tags=self.verify
+            )
+        self.device.store(name, enc)
+        self.recovery_log.clear_quarantine(name)
+        self.recovery_log.note_reencryption(name)

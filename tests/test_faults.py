@@ -1,0 +1,525 @@
+"""Fault injection, verification-triggered recovery, chaos acceptance.
+
+Covers the three layers of the robustness stack:
+
+* :mod:`repro.faults.plan` / :mod:`repro.faults.hooks` - plan parsing,
+  seeded determinism, arming discipline (faults only fire inside armed
+  windows, hooks are inert otherwise);
+* the recovery ladder in :class:`SecureEmbeddingStore` and the hardened
+  :class:`ParallelSlsEngine` - every injected fault class must end in a
+  bit-exact answer;
+* the chaos harness acceptance criterion: at the 1e-3 memory-fault rate,
+  tag-covered faults are detected at rate 1.0 and recovered at rate 1.0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.params import SecNDPParams
+from repro.core.protocol import SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import (
+    ConfigurationError,
+    RecoveryExhaustedError,
+    VerificationError,
+)
+from repro.faults import (
+    MEMORY_FAULTS,
+    PRESET_PLANS,
+    TRANSIENT_FAULTS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RecoveryPolicy,
+    hooks,
+)
+from repro.harness.chaos import default_chaos_plan, run_chaos
+from repro.harness.configs import SMOKE_SCALE
+from repro.parallel.engine import ParallelSlsEngine
+from repro.workloads.secure_sls import SecureEmbeddingStore
+
+KEY = bytes(range(16))
+PARAMS = SecNDPParams()
+
+_TABLE_RNG = np.random.default_rng(1234)
+TABLE = _TABLE_RNG.normal(size=(64, 16))
+QUERIES = [list(_TABLE_RNG.integers(0, 64, size=6)) for _ in range(24)]
+WEIGHTS = [list(_TABLE_RNG.integers(1, 4, size=6)) for _ in range(24)]
+
+#: No-sleep policy so retry tests do not wait out real backoff.
+FAST_POLICY = RecoveryPolicy(sleep=lambda s: None)
+
+
+def build_store(recovery=None, injector=None, verify=True):
+    processor = SecNDPProcessor(KEY, PARAMS)
+    device = UntrustedNdpDevice(PARAMS)
+    store = SecureEmbeddingStore(
+        processor, device, verify=verify, recovery=recovery, fault_injector=injector
+    )
+    store.add_table("t", TABLE)
+    return store
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return build_store().sls_many("t", QUERIES, WEIGHTS)
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    previous = hooks.get()
+    hooks.clear()
+    yield
+    hooks.clear()
+    if previous is not None:
+        hooks.install(previous)
+
+
+# -- plans ---------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_parse_preset(self):
+        assert FaultPlan.parse("ci-default") is PRESET_PLANS["ci-default"]
+        assert FaultPlan.parse(" memory-storm ") is PRESET_PLANS["memory-storm"]
+
+    def test_parse_spec_with_seed(self):
+        plan = FaultPlan.parse("ciphertext_bit=1e-3,tag_tamper=0.01,seed=42")
+        assert plan.rate(FaultKind.CIPHERTEXT_BIT) == 1e-3
+        assert plan.rate(FaultKind.TAG_TAMPER) == 0.01
+        assert plan.seed == 42
+
+    def test_parse_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultPlan.parse("rowhammer=1")
+
+    def test_parse_malformed_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind=rate"):
+            FaultPlan.parse("ciphertext_bit")
+
+    def test_rates_validated_and_zero_rates_dropped(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(rates={FaultKind.TAG_TAMPER: 1.5})
+        plan = FaultPlan(rates={FaultKind.TAG_TAMPER: 0.0})
+        assert plan.empty
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_faults=-1)
+
+    def test_taxonomy_partitions_kinds(self):
+        grouped = set(MEMORY_FAULTS) | set(TRANSIENT_FAULTS)
+        packet = {FaultKind.PACKET_DROP, FaultKind.PACKET_DUP, FaultKind.PACKET_DELAY}
+        worker = {FaultKind.WORKER_CRASH, FaultKind.WORKER_RAISE, FaultKind.WORKER_HANG}
+        assert grouped | packet | worker == set(FaultKind)
+
+
+# -- injector ------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_decisions_are_seeded_and_replayable(self):
+        plan = FaultPlan(rates={FaultKind.RESULT_SKEW: 0.5}, seed=99)
+        a = [FaultInjector(plan).decide(FaultKind.RESULT_SKEW, "s") for _ in range(1)]
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        da = [first.decide(FaultKind.RESULT_SKEW, "s") for _ in range(50)]
+        db = [second.decide(FaultKind.RESULT_SKEW, "s") for _ in range(50)]
+        assert da == db
+        assert any(da) and not all(da)
+        assert a  # replay of a fresh injector starts from the same stream
+
+    def test_max_faults_budget_caps_injection(self):
+        plan = FaultPlan(rates={FaultKind.RESULT_SKEW: 1.0}, max_faults=3)
+        inj = FaultInjector(plan)
+        fired = sum(inj.decide(FaultKind.RESULT_SKEW, "s") for _ in range(10))
+        assert fired == 3
+        assert inj.injected == 3
+
+    def test_events_carry_site_and_context(self):
+        inj = FaultInjector(FaultPlan(rates={FaultKind.TAG_TAMPER: 1.0}))
+        inj.set_context("t:q3:a0")
+        assert inj.decide(FaultKind.TAG_TAMPER, "device.tag_sum", "detail")
+        (event,) = inj.events
+        assert event.site == "device.tag_sum"
+        assert event.context == "t:q3:a0"
+        assert event.kind is FaultKind.TAG_TAMPER
+
+    def test_perturb_result_skews_exactly_one_lane(self):
+        ring = PARAMS.ring()
+        inj = FaultInjector(FaultPlan(rates={FaultKind.RESULT_SKEW: 1.0}))
+        values = np.zeros(8, dtype=ring.dtype)
+        skewed = inj.perturb_result(ring, values, "site")
+        assert skewed is not values  # input never mutated
+        assert np.count_nonzero(skewed) == 1
+        clean = FaultInjector(FaultPlan(rates={}))
+        assert clean.perturb_result(ring, values, "site") is values
+
+    def test_corrupt_device_mutates_and_reports_rows(self):
+        store = build_store()
+        plan = FaultPlan(rates={FaultKind.CIPHERTEXT_BIT: 5e-3}, seed=3)
+        inj = FaultInjector(plan)
+        before = store.device.stored("t").ciphertext.copy()
+        corrupted = inj.corrupt_device(store.device)
+        after = store.device.stored("t").ciphertext
+        assert corrupted and "t" in corrupted
+        changed_rows = {int(r) for r in np.nonzero((before != after).any(axis=1))[0]}
+        assert changed_rows == corrupted["t"]
+
+    def test_packet_and_worker_draw_shapes(self):
+        plan = FaultPlan(
+            rates={
+                FaultKind.PACKET_DROP: 1.0,
+                FaultKind.PACKET_DELAY: 1.0,
+                FaultKind.WORKER_HANG: 1.0,
+            },
+            delay_s=0.25,
+        )
+        inj = FaultInjector(plan)
+        drops, dups, delay = inj.packet_faults(4, "storage.run")
+        assert drops == 4 and dups == 0 and delay == pytest.approx(1.0)
+        assert inj.worker_directive("engine.task") == ("hang", 0.25)
+
+
+# -- hooks / arming ------------------------------------------------------------
+
+
+class TestHooks:
+    def test_disabled_by_default(self):
+        assert hooks.armed_injector() is None
+
+    def test_injected_installs_arms_and_restores(self):
+        plan = FaultPlan(rates={FaultKind.RESULT_SKEW: 1.0})
+        with hooks.injected(plan) as inj:
+            assert hooks.armed_injector() is inj
+        assert hooks.armed_injector() is None
+        assert hooks.get() is None
+
+    def test_installed_but_disarmed_stays_inert(self):
+        inj = hooks.install(FaultInjector(FaultPlan(rates={FaultKind.RESULT_SKEW: 1.0})))
+        assert hooks.armed_injector() is None
+        store = build_store()
+        store.sls_many("t", QUERIES[:4], WEIGHTS[:4])  # must not raise
+        assert inj.injected == 0
+
+    def test_armed_context_overrides_and_restores(self):
+        outer = hooks.install(FaultInjector(FaultPlan(rates={})))
+        inner = FaultInjector(FaultPlan(rates={FaultKind.TAG_TAMPER: 1.0}))
+        with hooks.armed(inner):
+            assert hooks.armed_injector() is inner
+        assert hooks.get() is outer
+        assert hooks.armed_injector() is None
+
+    def test_armed_none_is_noop(self):
+        with hooks.armed(None) as inj:
+            assert inj is None
+            assert hooks.armed_injector() is None
+
+    def test_ambient_injector_from_env(self, monkeypatch):
+        monkeypatch.setattr(hooks, "_AMBIENT", False)
+        monkeypatch.setenv(hooks.ENV_FAULT_PLAN, "tag_tamper=0.5,seed=8")
+        inj = hooks.ambient_injector()
+        assert inj is not None
+        assert inj.plan.rate(FaultKind.TAG_TAMPER) == 0.5
+        assert hooks.ambient_injector() is inj  # cached
+
+    def test_ambient_injector_swallows_bad_plans(self, monkeypatch):
+        monkeypatch.setattr(hooks, "_AMBIENT", False)
+        monkeypatch.setenv(hooks.ENV_FAULT_PLAN, "not-a-plan")
+        assert hooks.ambient_injector() is None
+
+    def test_recovery_store_picks_up_installed_injector(self):
+        inj = hooks.install(FaultInjector(FaultPlan(rates={})))
+        store = build_store(recovery=FAST_POLICY)
+        assert store.fault_injector is inj
+
+
+# -- detection without recovery ------------------------------------------------
+
+
+class TestDetectionWithoutRecovery:
+    """Armed faults against a plain store must hit the Sec. V-E3 interrupt."""
+
+    @pytest.mark.parametrize(
+        "kind", [FaultKind.RESULT_SKEW, FaultKind.TAG_TAMPER, FaultKind.VERSION_FLIP]
+    )
+    def test_transient_fault_detected(self, kind):
+        store = build_store()
+        with hooks.injected(FaultPlan(rates={kind: 1.0})):
+            with pytest.raises(VerificationError):
+                store.sls("t", QUERIES[0], WEIGHTS[0])
+
+    def test_persistent_corruption_detected(self):
+        store = build_store()
+        inj = FaultInjector(FaultPlan(rates={FaultKind.CIPHERTEXT_BIT: 5e-3}, seed=3))
+        corrupted = inj.corrupt_device(store.device)
+        row = next(iter(corrupted["t"]))
+        with pytest.raises(VerificationError):
+            store.sls("t", [row], [1])
+
+    def test_unarmed_store_is_untouched_by_plan(self, golden):
+        # Installing (not arming) a hostile plan must not change results.
+        hooks.install(FaultInjector(FaultPlan(rates={FaultKind.RESULT_SKEW: 1.0})))
+        assert np.array_equal(build_store().sls_many("t", QUERIES, WEIGHTS), golden)
+
+
+# -- recovery ladder -----------------------------------------------------------
+
+
+class TestRecovery:
+    def test_transient_faults_recovered_bit_exact(self, golden):
+        plan = FaultPlan(
+            rates={
+                FaultKind.RESULT_SKEW: 0.3,
+                FaultKind.TAG_TAMPER: 0.2,
+                FaultKind.VERSION_FLIP: 0.1,
+            },
+            seed=5,
+        )
+        inj = FaultInjector(plan)
+        store = build_store(recovery=FAST_POLICY, injector=inj)
+        got = store.sls_many("t", QUERIES, WEIGHTS)
+        assert np.array_equal(got, golden)
+        assert inj.injected > 0
+        counts = store.recovery_log.counts_by_resolution()
+        assert counts.get("retry", 0) > 0
+        assert store.recovery_log.detected_count() > 0
+
+    def test_persistent_faults_repaired_and_quarantined(self, golden):
+        plan = FaultPlan(rates={FaultKind.CIPHERTEXT_BIT: 3e-3}, seed=9)
+        inj = FaultInjector(plan)
+        policy = RecoveryPolicy(sleep=lambda s: None, reencrypt_after=None)
+        store = build_store(recovery=policy, injector=inj)
+        corrupted = inj.corrupt_device(store.device)
+        assert corrupted
+        got = store.sls_many("t", QUERIES, WEIGHTS)
+        assert np.array_equal(got, golden)
+        touched = {r for rows in QUERIES for r in rows}
+        expected_quarantine = corrupted["t"] & touched
+        assert store.quarantined_rows("t") == expected_quarantine
+
+    def test_reencryption_clears_quarantine_and_heals_table(self, golden):
+        plan = FaultPlan(rates={FaultKind.CIPHERTEXT_BIT: 3e-3}, seed=9)
+        inj = FaultInjector(plan)
+        policy = RecoveryPolicy(sleep=lambda s: None, reencrypt_after=1)
+        store = build_store(recovery=policy, injector=inj)
+        inj.corrupt_device(store.device)
+        old_version = store.device.stored("t").version
+        got = store.sls_many("t", QUERIES, WEIGHTS)
+        assert np.array_equal(got, golden)
+        assert store.recovery_log.reencryptions.get("t", 0) >= 1
+        assert store.quarantined_rows("t") == set()
+        assert store.device.stored("t").version > old_version
+        # The table is healed: a fresh serve is clean end to end.
+        n = len(store.recovery_log.outcomes)
+        assert np.array_equal(store.sls_many("t", QUERIES, WEIGHTS), golden)
+        assert all(
+            o.resolved_via == "ok" for o in store.recovery_log.outcomes[n:]
+        )
+
+    def test_no_plaintext_means_recovery_exhausted(self):
+        plan = FaultPlan(rates={FaultKind.CIPHERTEXT_BIT: 1.0}, max_faults=8, seed=2)
+        inj = FaultInjector(plan)
+        policy = RecoveryPolicy(sleep=lambda s: None, retain_plaintext=False)
+        store = build_store(recovery=policy, injector=inj)
+        corrupted = inj.corrupt_device(store.device)
+        row = next(iter(corrupted["t"]))
+        with pytest.raises(RecoveryExhaustedError):
+            store.sls("t", [row], [1])
+
+    def test_injector_requires_recovery(self):
+        with pytest.raises(ConfigurationError, match="RecoveryPolicy"):
+            build_store(injector=FaultInjector(FaultPlan(rates={})))
+
+    def test_recovery_requires_verification(self):
+        with pytest.raises(ConfigurationError, match="verify"):
+            build_store(recovery=FAST_POLICY, verify=False)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RecoveryPolicy(backoff_base_s=0.01, backoff_factor=2.0, jitter=0.5)
+        for attempt in range(3):
+            base = 0.01 * (2.0 ** attempt)
+            delay = policy.backoff_s(attempt, salt=7)
+            assert delay == policy.backoff_s(attempt, salt=7)
+            assert base * 0.5 <= delay <= base * 1.5
+        flat = RecoveryPolicy(backoff_base_s=0.01, jitter=0.0)
+        assert flat.backoff_s(2) == pytest.approx(0.04)
+
+    def test_retries_sleep_with_backoff(self, golden):
+        sleeps = []
+        policy = RecoveryPolicy(max_retries=2, sleep=sleeps.append)
+        plan = FaultPlan(rates={FaultKind.TAG_TAMPER: 1.0}, max_faults=2, seed=1)
+        store = build_store(recovery=policy, injector=FaultInjector(plan))
+        got = store.sls("t", QUERIES[0], WEIGHTS[0])
+        assert np.array_equal(got, golden[0])
+        assert len(sleeps) == 2  # two faulted attempts, then a clean third
+        assert all(s > 0 for s in sleeps)
+
+    def test_clean_recovery_store_matches_golden(self, golden):
+        store = build_store(
+            recovery=FAST_POLICY, injector=FaultInjector(FaultPlan(rates={}))
+        )
+        assert np.array_equal(store.sls_many("t", QUERIES, WEIGHTS), golden)
+        counts = store.recovery_log.counts_by_resolution()
+        assert set(counts) == {"ok"}
+
+
+# -- hardened parallel engine --------------------------------------------------
+
+
+class _PoisonedPool:
+    def terminate(self):
+        raise RuntimeError("poisoned pool")
+
+    def join(self):  # pragma: no cover - terminate raises first
+        raise RuntimeError("poisoned pool")
+
+
+class TestEngineChaos:
+    def _engine(self, store, workers=2, task_timeout=30.0):
+        engine = ParallelSlsEngine(store, workers=workers, task_timeout=task_timeout)
+        if workers >= 1 and engine.workers == 0:
+            engine.close()
+            pytest.skip("shared memory unavailable; engine degraded at start")
+        return engine
+
+    def test_worker_raise_respawns_and_matches(self, golden):
+        plan = FaultPlan(rates={FaultKind.WORKER_RAISE: 1.0}, max_faults=1, seed=4)
+        store = build_store(recovery=FAST_POLICY, injector=FaultInjector(plan))
+        with self._engine(store) as engine:
+            assert np.array_equal(engine.sls_many("t", QUERIES, WEIGHTS), golden)
+            assert engine.workers > 0  # recovered by respawn, not degradation
+
+    def test_worker_crash_respawns_and_matches(self, golden):
+        plan = FaultPlan(rates={FaultKind.WORKER_CRASH: 1.0}, max_faults=1, seed=4)
+        store = build_store(recovery=FAST_POLICY, injector=FaultInjector(plan))
+        with self._engine(store, task_timeout=5.0) as engine:
+            assert np.array_equal(engine.sls_many("t", QUERIES, WEIGHTS), golden)
+
+    def test_worker_hang_is_absorbed_by_deadline(self, golden):
+        plan = FaultPlan(
+            rates={FaultKind.WORKER_HANG: 1.0}, max_faults=1, delay_s=0.05, seed=4
+        )
+        store = build_store(recovery=FAST_POLICY, injector=FaultInjector(plan))
+        with self._engine(store) as engine:
+            assert np.array_equal(engine.sls_many("t", QUERIES, WEIGHTS), golden)
+
+    def test_corrupted_arena_delegates_to_recovery(self, golden):
+        plan = FaultPlan(rates={FaultKind.CIPHERTEXT_BIT: 3e-3}, seed=9)
+        inj = FaultInjector(plan)
+        policy = RecoveryPolicy(sleep=lambda s: None, reencrypt_after=None)
+        store = build_store(recovery=policy, injector=inj)
+        corrupted = inj.corrupt_device(store.device)
+        assert corrupted
+        with self._engine(store) as engine:  # arenas snapshot the damage
+            assert np.array_equal(engine.sls_many("t", QUERIES, WEIGHTS), golden)
+        assert store.recovery_log.detected_count() > 0
+
+    def test_stale_arenas_after_reencryption_refresh(self, golden):
+        store = build_store(
+            recovery=FAST_POLICY, injector=FaultInjector(FaultPlan(rates={}))
+        )
+        with self._engine(store) as engine:
+            assert np.array_equal(engine.sls_many("t", QUERIES, WEIGHTS), golden)
+            store.reencrypt_table("t")
+            assert np.array_equal(engine.sls_many("t", QUERIES, WEIGHTS), golden)
+
+    def test_unrecoverable_store_draws_no_directives(self, golden):
+        # A plain store served through the engine must never be faulted,
+        # even with a hostile injector installed process-wide.
+        inj = hooks.install(
+            FaultInjector(FaultPlan(rates={FaultKind.WORKER_CRASH: 1.0}))
+        )
+        store = build_store()
+        with self._engine(store) as engine:
+            assert np.array_equal(engine.sls_many("t", QUERIES, WEIGHTS), golden)
+        assert inj.injected == 0
+
+    def test_poisoned_pool_still_tears_down(self):
+        store = build_store()
+        obs.get_registry().reset()
+        obs.enable()
+        try:
+            engine = self._engine(store)
+            real_pool = engine._pool
+            real_pool.terminate()
+            real_pool.join()
+            engine._pool = _PoisonedPool()
+            assert engine._segments
+            engine.close()  # must not raise despite the poisoned pool
+            assert engine._pool is None
+            assert engine._segments == []
+            counters = obs.snapshot()["counters"]
+            assert counters.get("parallel.teardown_errors", 0) >= 1
+            engine.close()  # idempotent
+        finally:
+            obs.disable()
+            obs.get_registry().reset()
+
+
+# -- hypothesis sweep: fault kinds x worker counts -----------------------------
+
+
+_SWEEP_KINDS = sorted(
+    set(MEMORY_FAULTS) | set(TRANSIENT_FAULTS) | {FaultKind.WORKER_RAISE},
+    key=lambda k: k.value,
+)
+
+
+class TestFaultSweep:
+    @given(
+        kind=st.sampled_from(_SWEEP_KINDS),
+        workers=st.sampled_from([0, 0, 0, 0, 1, 2]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_fault_kind_recovers_bit_exact(self, kind, workers, seed, golden):
+        rate = 0.01 if kind in MEMORY_FAULTS else 0.5
+        plan = FaultPlan(rates={kind: rate}, seed=seed, max_faults=50)
+        inj = FaultInjector(plan)
+        policy = RecoveryPolicy(sleep=lambda s: None, reencrypt_after=None)
+        store = build_store(recovery=policy, injector=inj)
+        if kind in MEMORY_FAULTS:
+            inj.corrupt_device(store.device)
+        if workers == 0:
+            got = store.sls_many("t", QUERIES, WEIGHTS)
+        else:
+            with ParallelSlsEngine(store, workers=workers, task_timeout=30.0) as eng:
+                got = eng.sls_many("t", QUERIES, WEIGHTS)
+        assert np.array_equal(got, golden)
+        if kind in TRANSIENT_FAULTS and inj.injected and workers == 0:
+            # A transient fault during an armed serve is always detected.
+            assert store.recovery_log.detected_count() > 0
+
+
+# -- chaos acceptance ----------------------------------------------------------
+
+
+class TestChaosAcceptance:
+    """The ISSUE's bar: 1e-3 memory-fault chaos run, detection and
+    recovery both at 1.0, results bit-exact."""
+
+    def test_sequential_chaos_run(self):
+        result = run_chaos(SMOKE_SCALE, fault_rate=1e-3, workers=0)
+        assert result.mismatched == 0
+        assert result.exposed > 0  # the run actually exercised faults
+        assert result.detection_rate == 1.0
+        assert result.recovery_rate == 1.0
+
+    def test_parallel_chaos_run(self):
+        result = run_chaos(SMOKE_SCALE, fault_rate=1e-3, workers=2, task_timeout=30.0)
+        assert result.mismatched == 0
+        assert result.detection_rate == 1.0
+        assert result.recovery_rate == 1.0
+
+    def test_default_plan_shape(self):
+        plan = default_chaos_plan(2e-3, seed=11)
+        assert plan.rate(FaultKind.CIPHERTEXT_BIT) == 2e-3
+        assert plan.rate(FaultKind.TAG_REPLAY) == 2e-3
+        assert plan.seed == 11

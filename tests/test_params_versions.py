@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.core import DEFAULT_VERSION_BUDGET, SecNDPParams, VersionManager
-from repro.errors import ConfigurationError, VersionBudgetError, VersionReuseError
+from repro.core import (
+    DEFAULT_VERSION_BUDGET,
+    SecNDPParams,
+    SecNDPProcessor,
+    VersionManager,
+)
+from repro.errors import (
+    ConfigurationError,
+    SecNDPError,
+    VersionBudgetError,
+    VersionReuseError,
+)
 
 
 class TestParams:
@@ -107,3 +118,57 @@ class TestVersionManager:
         assert vm.live_regions == 2
         vm.retire("a")
         assert vm.live_regions == 1
+
+
+class TestVersionErrors:
+    """Direct coverage of the two version failure modes (Sec. V-A)."""
+
+    def test_version_errors_are_secndp_errors(self):
+        assert issubclass(VersionReuseError, SecNDPError)
+        assert issubclass(VersionBudgetError, SecNDPError)
+        assert not issubclass(VersionReuseError, VersionBudgetError)
+
+    def test_reuse_error_names_the_region(self):
+        vm = VersionManager()
+        vm.fresh("emb/t0")
+        with pytest.raises(VersionReuseError, match="emb/t0"):
+            vm.assert_unused("emb/t0", 0)
+
+    def test_budget_error_names_the_budget(self):
+        vm = VersionManager(budget=1)
+        vm.fresh("a")
+        with pytest.raises(VersionBudgetError, match="budget of 1"):
+            vm.fresh("b")
+
+    def test_reuse_survives_retire(self):
+        # A retired region's burned versions must stay rejected forever.
+        vm = VersionManager()
+        vm.fresh("a")
+        vm.retire("a")
+        vm.fresh("a")  # continues at 1
+        with pytest.raises(VersionReuseError):
+            vm.assert_unused("a", 1)
+
+    def test_counter_exhaustion_through_reencryption(self, key):
+        # Protocol-level: each encrypt_matrix of the same region bumps the
+        # data-domain counter; a 1-bit version field allows exactly two
+        # encryptions before the manager demands a re-key.
+        proc = SecNDPProcessor(
+            key, SecNDPParams(), versions=VersionManager(version_bits=1)
+        )
+        plain = proc.ring.encode(np.arange(16, dtype=np.int64).reshape(4, 4))
+        proc.encrypt_matrix(plain, 0x1000, "r", with_tags=False)
+        proc.encrypt_matrix(plain, 0x1000, "r", with_tags=False)
+        with pytest.raises(VersionReuseError, match="re-key"):
+            proc.encrypt_matrix(plain, 0x1000, "r", with_tags=False)
+
+    def test_budget_exhaustion_through_encrypt_matrix(self, key):
+        # A tagged region consumes three version slots (data / checksum /
+        # tag); a 3-region budget therefore fits exactly one table.
+        proc = SecNDPProcessor(
+            key, SecNDPParams(), versions=VersionManager(budget=3)
+        )
+        plain = proc.ring.encode(np.arange(16, dtype=np.int64).reshape(4, 4))
+        proc.encrypt_matrix(plain, 0x1000, "t0")
+        with pytest.raises(VersionBudgetError):
+            proc.encrypt_matrix(plain, 0x2000, "t1")
