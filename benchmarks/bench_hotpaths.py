@@ -244,6 +244,177 @@ def _bench_parallel(sizes) -> dict:
     }
 
 
+def _bench_tiering(sizes) -> dict:
+    """Hot-row tiering: prewarm-on vs prewarm-off over a Zipfian trace.
+
+    The tiering claim (DESIGN.md Sec. 12): on skewed production traffic,
+    seeding the access tracker, sizing the pad caches to the hot-set
+    footprint, and pre-generating hot-row OTP/tag pads makes the p50
+    query latency beat an untiered store whose default-sized block cache
+    thrashes.  Four legs, all bit-exactness-gated:
+
+    1. baseline vs tiered per-query serve over the same 200-query
+       ``production_trace`` (the p50/p95 speedup numbers);
+    2. hot-set-only queries after prewarm must hit the row-level and
+       tag-pad LRUs at >= 0.9;
+    3. the same trace through a 2-worker ``ParallelSlsEngine`` (hot set
+       broadcast at pool spawn) must match bit-for-bit;
+    4. a mid-trace ``reencrypt_table`` must purge every pad keyed by the
+       retired versions (zero stale entries) and still serve bit-exactly
+       after re-warming under the bumped versions.
+
+    Operating points are measured, not aspirational: the table must be
+    large enough that its block working set exceeds the default OTP
+    cache (8192 rows x 16 blocks/row at default/paper), else the
+    baseline never thrashes and tiering has nothing to win.  At smoke
+    (2000 rows) the working set barely spills, so the PF range drops to
+    (40, 80) and the floor relaxes to 1.1x.
+    """
+    from repro.faults import RecoveryPolicy
+    from repro.tiering import TieringConfig
+    from repro.workloads.traces import production_trace
+
+    params = SecNDPParams(element_bits=32)
+    smoke = sizes["n_rows"] <= _SIZES["smoke"]["n_rows"]
+    n_rows = min(sizes["n_rows"], 2_000 if smoke else 8_192)
+    dim = sizes["dim"]
+    pf_range = (40, 80) if smoke else (60, 100)
+    n_queries = 200
+    trace = production_trace(
+        n_rows,
+        n_queries,
+        pf_range=pf_range,
+        hot_fraction=0.05,
+        hot_probability=0.9,
+        seed=11,
+    )
+    queries = [
+        ([int(r) for r in ix], [int(w) for w in ws])
+        for ix, ws in zip(trace.indices, trace.weights)
+    ]
+    config = TieringConfig(hot_fraction=0.1)
+
+    def build(recovery=False):
+        processor = SecNDPProcessor(KEY, params)
+        device = UntrustedNdpDevice(params)
+        policy = (
+            RecoveryPolicy(backoff_base_s=1e-4, reencrypt_after=None)
+            if recovery
+            else None
+        )
+        store = SecureEmbeddingStore(
+            processor, device, quantization="table", recovery=policy
+        )
+        rng = np.random.default_rng(6)
+        store.add_table("emb", rng.normal(size=(n_rows, dim)))
+        return store
+
+    def serve(store, qs):
+        lat = np.empty(len(qs))
+        out = np.empty((len(qs), dim))
+        for i, (rows, ws) in enumerate(qs):
+            t0 = time.perf_counter()
+            out[i] = store.sls("emb", rows, ws)
+            lat[i] = time.perf_counter() - t0
+        return lat, out
+
+    # Leg 1: baseline (default caches, no tracker) vs prewarmed tiering.
+    baseline = build()
+    lat_base, out_base = serve(baseline, queries)
+
+    tiered = build()
+    tiering = tiered.attach_tiering(config)
+    tiering.seed_from_trace("emb", trace)
+    cache_blocks, tag_cache_rows = tiering.apply_sizing()
+    prewarmed = tiering.prewarm_now()
+    coverage = tiering.coverage("emb")
+    lat_tier, out_tier = serve(tiered, queries)
+    assert np.array_equal(out_base, out_tier), "tiered SLS diverges from baseline"
+
+    # Leg 2: hot-set-only queries must be served from the prewarmed
+    # row/tag LRUs.  (The block-level cache no longer sees hot rows at
+    # all - the row cache short-circuits it - so it is not the metric.)
+    hot = tiering.hot_rows("emb")
+    enc = tiered.processor.encryptor
+    row0, tag0 = enc.row_cache_info(), tiered.processor.mac.tag_cache_info()
+    rng = np.random.default_rng(12)
+    for _ in range(20):
+        rows = [int(r) for r in rng.choice(hot, size=pf_range[0])]
+        tiered.sls("emb", rows)
+    row1, tag1 = enc.row_cache_info(), tiered.processor.mac.tag_cache_info()
+    hot_hits = (row1.hits - row0.hits) + (tag1.hits - tag0.hits)
+    hot_served = hot_hits + (row1.misses - row0.misses) + (tag1.misses - tag0.misses)
+    hot_hit_rate = hot_hits / hot_served if hot_served else 0.0
+
+    # Leg 3: the sharded pool replicates the hot set per worker at spawn
+    # (tasks land on any worker); partial-sum recombination is modular,
+    # so the bar is bit-identity, not closeness.
+    engine = ParallelSlsEngine(tiered, workers=2)
+    try:
+        out_par = engine.sls_many(
+            "emb", [rows for rows, _ in queries], [ws for _, ws in queries]
+        )
+    finally:
+        engine.close()
+    parallel_ok = bool(np.array_equal(out_par, out_tier))
+    assert parallel_ok, "tiered parallel SLS diverges"
+
+    # Leg 4: re-encryption mid-trace.  Pads are keyed (version, addr) so
+    # retired entries are unreachable by construction; the invalidation
+    # hook must also purge them (capacity hygiene) and reset coverage.
+    re_store = build(recovery=True)
+    re_tier = re_store.attach_tiering(config)
+    re_tier.seed_from_trace("emb", trace)
+    re_tier.apply_sizing()
+    re_tier.prewarm_now()
+    half = n_queries // 2
+    _, out_a = serve(re_store, queries[:half])
+    old = re_store.device.stored("emb")
+    old_data, old_tag = old.version, old.tag_version
+    re_store.reencrypt_table("emb")
+    stale = (
+        sum(1 for k in re_store.processor.encryptor.otp._block_cache if k[0] == old_data)
+        + sum(1 for k in re_store.processor.encryptor._row_cache if k[0] == old_data)
+        + sum(1 for k in re_store.processor.mac._tag_cache if k[0] == old_tag)
+    )
+    post_coverage = re_tier.coverage("emb")
+    re_tier.prewarm_now()  # re-warm under the bumped versions
+    _, out_b = serve(re_store, queries[half:])
+    reencrypt_ok = bool(
+        np.array_equal(np.concatenate([out_a, out_b]), out_base)
+    )
+    assert reencrypt_ok, "post-re-encryption serve diverges"
+    assert stale == 0, f"{stale} stale pad entries survived invalidation"
+    assert post_coverage == 0.0, "coverage did not reset on re-encryption"
+
+    p50 = float(np.percentile(lat_base, 50)) / float(np.percentile(lat_tier, 50))
+    p95 = float(np.percentile(lat_base, 95)) / float(np.percentile(lat_tier, 95))
+    return {
+        "table_rows": n_rows,
+        "dim": dim,
+        "queries": n_queries,
+        "pf_range": list(pf_range),
+        "trace_hot_fraction": 0.05,
+        "trace_hot_probability": 0.9,
+        "hot_rows": int(hot.size),
+        "cache_blocks": int(cache_blocks),
+        "tag_cache_rows": int(tag_cache_rows),
+        "prewarmed_rows": int(prewarmed),
+        "prewarm_coverage": float(coverage),
+        "baseline_p50_ms": float(np.percentile(lat_base, 50)) * 1e3,
+        "prewarm_p50_ms": float(np.percentile(lat_tier, 50)) * 1e3,
+        "baseline_p95_ms": float(np.percentile(lat_base, 95)) * 1e3,
+        "prewarm_p95_ms": float(np.percentile(lat_tier, 95)) * 1e3,
+        "p50_speedup": p50,
+        "p95_speedup": p95,
+        "mean_speedup": float(lat_base.mean() / lat_tier.mean()),
+        "hot_set_hit_rate": float(hot_hit_rate),
+        "parallel_bit_identical": parallel_ok,
+        "reencrypt_bit_identical": reencrypt_ok,
+        "stale_pad_keys_after_purge": int(stale),
+    }
+
+
 def _collect_metrics(sizes) -> dict:
     """Run a small instrumented pass and return the counter snapshot.
 
@@ -292,6 +463,7 @@ def test_hotpaths(scale):
     # never moves the single-core envelope.
     report["wall_seconds"] = time.perf_counter() - wall_start
     report["parallel"] = _bench_parallel(sizes)
+    report["tiering"] = _bench_tiering(sizes)
     report["metrics"] = _collect_metrics(sizes)
 
     print()
@@ -323,6 +495,16 @@ def test_hotpaths(scale):
         f"-> {pl['speedup_vs_sequential']:.2f}x vs sequential "
         f"(startup {pl['pool_startup_seconds']*1e3:.0f} ms, bit-identical)"
     )
+    ti = report["tiering"]
+    print(
+        f"tiering {ti['table_rows']} rows pf={ti['pf_range']}: baseline p50 "
+        f"{ti['baseline_p50_ms']:.2f} ms, prewarmed p50 {ti['prewarm_p50_ms']:.2f} ms "
+        f"-> {ti['p50_speedup']:.2f}x p50 ({ti['p95_speedup']:.2f}x p95); "
+        f"hot set {ti['hot_rows']} rows, coverage {ti['prewarm_coverage']:.2f}, "
+        f"hot-set hit rate {ti['hot_set_hit_rate']:.3f}, "
+        f"{ti['stale_pad_keys_after_purge']} stale pads after re-encrypt "
+        f"(bit-identical incl. workers=2 + mid-trace re-encryption)"
+    )
 
     # Perf trajectory file: one entry per scale, overwritten in place.
     existing = {}
@@ -349,3 +531,13 @@ def test_hotpaths(scale):
     # correctness-preserving, not a perf claim.
     if scale.name in ("default", "paper") and pl["workers_effective"] > 0:
         assert pl["speedup_vs_sequential"] >= 2.0
+    # PR 6 acceptance (hot-row tiering): prewarm-on beats prewarm-off by
+    # >= 1.5x p50 on the skewed trace at default/paper, where the table's
+    # block working set genuinely exceeds the default OTP cache.  At
+    # smoke the working set barely spills, so the floor relaxes.  Hit
+    # rate and bit-identity hold at every scale (the exactness asserts
+    # live inside _bench_tiering).
+    assert ti["p50_speedup"] >= (1.1 if scale.name == "smoke" else 1.5)
+    assert ti["hot_set_hit_rate"] >= 0.9
+    assert ti["parallel_bit_identical"] and ti["reencrypt_bit_identical"]
+    assert ti["stale_pad_keys_after_purge"] == 0

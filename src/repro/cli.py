@@ -10,6 +10,7 @@ Usage::
     python -m repro fig7 --scale paper --workers 4
     python -m repro chaos --fault-rate 1e-3 --workers 2
     python -m repro chaos --plan ci-default
+    python -m repro table3 --scale smoke --stats --prewarm --hot-fraction 0.05
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md Sec. 4 for the experiment index).  ``--stats`` prints the
@@ -18,6 +19,10 @@ writes a Chrome/Perfetto trace of the phase spans (DESIGN.md Sec. 9).
 ``--workers N`` fans the experiment grid across N processes
 (DESIGN.md Sec. 10); the default comes from ``SECNDP_WORKERS`` or the
 CPU count, and ``--workers 0`` forces the in-process path.
+``--prewarm`` attaches hot-row tiering (DESIGN.md Sec. 12) to the
+functional serving paths and pre-generates hot-set pads before queries;
+``--hot-fraction F`` caps the hot set, and ``--stats`` then also prints
+the fleet-wide pad-cache hit rates (store + pool workers).
 
 Unknown experiment names and invalid scales exit with status 2 and a
 one-line error, so shell scripts and CI steps fail fast without a
@@ -154,6 +159,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome/Perfetto trace of the run's phase spans to PATH",
     )
+    parser.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="attach hot-row tiering and pre-generate OTP/tag pads for the "
+        "hot set before serving (chaos and functional-shadow paths)",
+    )
+    parser.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="cap the tiering hot set at F of each table's rows "
+        "(default: coverage-driven)",
+    )
     return parser
 
 
@@ -193,6 +212,8 @@ def main(argv=None) -> int:
     workers = args.workers if args.workers is not None else default_workers()
     if workers < 0:
         return _fail(f"--workers must be >= 0, got {workers}")
+    if args.hot_fraction is not None and not 0.0 < args.hot_fraction <= 1.0:
+        return _fail(f"--hot-fraction must be in (0, 1], got {args.hot_fraction}")
 
     if args.experiment == "chaos":
         try:
@@ -214,7 +235,13 @@ def main(argv=None) -> int:
         started = time.time()
         try:
             with obs.span("experiment.chaos", cat="harness"):
-                result = run_chaos(scale, plan=plan, workers=chaos_workers)
+                result = run_chaos(
+                    scale,
+                    plan=plan,
+                    workers=chaos_workers,
+                    prewarm=args.prewarm,
+                    hot_fraction=args.hot_fraction,
+                )
             print(result.render())
             print(f"[chaos finished in {time.time() - started:.1f}s]\n")
             if args.stats:
@@ -248,16 +275,37 @@ def main(argv=None) -> int:
             collected[name] = result
             print(result.render())
             print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+        cache_views = None
         if collect:
             # The experiment drivers are timing models; one functional
             # pass populates the crypto/protocol-layer counters too.
-            run_functional_shadow(scale)
+            cache_views = run_functional_shadow(
+                scale,
+                workers=workers,
+                prewarm=args.prewarm,
+                hot_fraction=args.hot_fraction,
+            )
         if args.json:
             path = export_results(collected, args.json)
             print(f"results written to {path}")
         if args.stats:
             print("== metrics ==")
             print(obs.format_snapshot(obs.snapshot()))
+            if cache_views is not None:
+                # Fleet-wide (store + pool workers) pad-cache summary;
+                # the same numbers appear as otp.cache.fleet.* gauges.
+                print("== pad caches (fleet) ==")
+                for label, info in (
+                    ("otp", cache_views["otp"]),
+                    ("tag", cache_views["tag"]),
+                ):
+                    served = info.hits + info.misses
+                    rate = info.hits / served if served else 0.0
+                    print(
+                        f"  {label:4s} hits={info.hits} misses={info.misses} "
+                        f"hit_rate={rate:.3f} evictions={info.evictions} "
+                        f"size={info.currsize}/{info.maxsize}"
+                    )
         if args.trace is not None:
             path = obs.write_trace(args.trace)
             print(f"trace written to {path}")

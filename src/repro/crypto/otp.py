@@ -17,6 +17,15 @@ per-(version, address) LRU of recently generated pad blocks.  Pads are a
 pure function of ``(K, version, address)``, so caching is semantically
 invisible; repeated SLS queries over hot embedding rows skip the cipher
 entirely.
+
+Concurrency note: the hot-row tiering layer (:mod:`repro.tiering`) feeds
+this LRU from a background prewarmer thread while the serving thread
+reads it.  Every cache operation here is a single C-level
+dict/OrderedDict call (atomic under the GIL) and pad rows are immutable
+copies, so interleavings can only cost a duplicated AES call or a
+slightly-early eviction — never a wrong pad.  The two read-modify-write
+spots that could observe a concurrent eviction (``move_to_end`` after a
+hit, ``popitem`` while shrinking) tolerate ``KeyError``.
 """
 
 from __future__ import annotations
@@ -31,7 +40,12 @@ from .aes import BLOCK_BYTES
 from .ring import Ring
 from .tweaked import DOMAIN_DATA, TweakedCipher
 
-__all__ = ["OtpGenerator", "OtpCacheInfo", "merge_cache_info"]
+__all__ = [
+    "OtpGenerator",
+    "OtpCacheInfo",
+    "merge_cache_info",
+    "publish_cache_gauges",
+]
 
 
 class OtpCacheInfo(NamedTuple):
@@ -67,6 +81,25 @@ def merge_cache_info(infos) -> OtpCacheInfo:
     )
 
 
+def publish_cache_gauges(prefix: str, info: OtpCacheInfo) -> None:
+    """Export one cache-info tuple as ``{prefix}.*`` gauges.
+
+    Used for the fleet-wide (store + pool workers) views the CLI's
+    ``--stats`` output reports: counters live in each process, so the
+    merged tuple is published from the parent as point-in-time gauges.
+    """
+    if not obs.enabled():
+        return
+    obs.gauge(f"{prefix}.hits", info.hits)
+    obs.gauge(f"{prefix}.misses", info.misses)
+    obs.gauge(f"{prefix}.evictions", info.evictions)
+    obs.gauge(f"{prefix}.currsize", info.currsize)
+    obs.gauge(f"{prefix}.maxsize", info.maxsize)
+    served = info.hits + info.misses
+    if served:
+        obs.gauge(f"{prefix}.hit_rate", info.hits / served)
+
+
 #: Default LRU capacity in cipher blocks (16 B of pad each); at the
 #: default 4096 blocks the cache tops out well under 1 MiB.
 DEFAULT_CACHE_BLOCKS = 4096
@@ -94,6 +127,9 @@ class OtpGenerator:
         self.elements_per_block = BLOCK_BYTES * 8 // ring.width
         self.cache_blocks = cache_blocks
         self._block_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        #: bytes one cached pad row pins (the ``otp.cache.bytes`` gauge
+        #: is ``currsize * entry_bytes``).
+        self.entry_bytes = self.elements_per_block * np.dtype(ring.dtype).itemsize
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
@@ -128,7 +164,13 @@ class OtpGenerator:
                 missing.append(addr)
                 missing_pos.append(pos)
             else:
-                cache.move_to_end(key)
+                try:
+                    cache.move_to_end(key)
+                except KeyError:
+                    # A concurrent prewarmer eviction raced the hit; the
+                    # row reference is still valid, only the LRU position
+                    # is lost.
+                    pass
                 out[pos] = row
         hits = len(block_addrs) - len(missing)
         self.cache_hits += hits
@@ -143,14 +185,29 @@ class OtpGenerator:
             for k, pos in enumerate(missing_pos):
                 out[pos] = rows[k]
                 cache[(version, missing[k])] = rows[k].copy()
-            evicted = 0
-            while len(cache) > self.cache_blocks:
-                cache.popitem(last=False)
-                evicted += 1
-            if evicted:
-                self.cache_evictions += evicted
-                obs.inc("otp.cache.eviction", evicted)
+            self._evict_to_capacity()
         return out
+
+    def _evict_to_capacity(self) -> None:
+        """Shrink the LRU to ``cache_blocks`` in one accounted pass.
+
+        The excess is computed once and popped in a single sweep (instead
+        of re-checking ``len`` and incrementing counters per pop), and the
+        resident pad memory is republished so sizing decisions are
+        observable via the ``otp.cache.bytes`` gauge.
+        """
+        cache = self._block_cache
+        excess = len(cache) - self.cache_blocks
+        if excess > 0:
+            for _ in range(excess):
+                try:
+                    cache.popitem(last=False)
+                except KeyError:  # another thread emptied it first
+                    break
+            self.cache_evictions += excess
+            obs.inc("otp.cache.eviction", excess)
+        if obs.enabled():
+            obs.gauge("otp.cache.bytes", len(cache) * self.entry_bytes)
 
     def cache_info(self) -> OtpCacheInfo:
         """Current pad-block LRU statistics.
@@ -173,6 +230,46 @@ class OtpGenerator:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+
+    def resize_cache(self, cache_blocks: int) -> None:
+        """Change the LRU capacity in place (skew-aware sizing hook).
+
+        Growing keeps every resident pad; shrinking evicts the coldest
+        entries down to the new capacity.  ``0`` disables caching and
+        drops everything.
+        """
+        if cache_blocks < 0:
+            raise ValueError("cache_blocks must be non-negative")
+        self.cache_blocks = cache_blocks
+        if cache_blocks == 0:
+            self._block_cache.clear()
+        else:
+            self._evict_to_capacity()
+        if obs.enabled():
+            obs.gauge("otp.cache.capacity_blocks", cache_blocks)
+            obs.gauge("otp.cache.bytes", len(self._block_cache) * self.entry_bytes)
+
+    def purge_version(self, version: int) -> int:
+        """Drop every cached pad generated under ``version``.
+
+        Called by the tiering layer when a region is re-encrypted under a
+        bumped version: pads are keyed by ``(version, address)``, so stale
+        entries can never be *served* for the new version, but they would
+        squat in the capacity until natural eviction.  Returns the number
+        of entries dropped.
+        """
+        stale = [key for key in list(self._block_cache) if key[0] == version]
+        dropped = 0
+        for key in stale:
+            try:
+                del self._block_cache[key]
+            except KeyError:
+                continue
+            dropped += 1
+        if dropped and obs.enabled():
+            obs.inc("otp.cache.purged", dropped)
+            obs.gauge("otp.cache.bytes", len(self._block_cache) * self.entry_bytes)
+        return dropped
 
     # -- element-level pad generation -----------------------------------------
 

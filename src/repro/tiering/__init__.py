@@ -1,0 +1,21 @@
+"""Trace-driven hot-row tiering with background pad precomputation.
+
+SecNDP's pads are data-independent (counter mode over addresses and
+versions), and real embedding traffic is Zipf-skewed; this package
+exploits both: track per-row access frequency, classify a hot set, size
+the OTP/tag-pad LRUs to its footprint, and pre-generate hot-row pads on
+a background thread so the serving path finds them warm.  See DESIGN.md
+Sec. 12.
+"""
+
+from .prewarm import HotRowTiering, PadPrewarmer
+from .stats import AccessTracker, TieringConfig, TieringPlan, plan_for
+
+__all__ = [
+    "AccessTracker",
+    "HotRowTiering",
+    "PadPrewarmer",
+    "TieringConfig",
+    "TieringPlan",
+    "plan_for",
+]
