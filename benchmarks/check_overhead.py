@@ -15,7 +15,10 @@ degraded engine is pure delegation and must stay free.  A third check
 serves the same batch with the fault-injection hooks in their disabled
 states and fails if they cost more than 2% over a hook-free serve, and a
 fourth does the same for hot-row tiering: a store with tiering attached
-but the prewarmer disabled must serve within 2% of a detached store.
+but the prewarmer disabled must serve within 2% of a detached store.  A
+fifth pins the telemetry layer: with the security-event log enabled
+(in-memory ring or JSONL journal) a healthy serve must emit zero events
+and stay within 2% of the fully-disabled path.
 
 Usage::
 
@@ -243,6 +246,142 @@ def _check_tiering_overhead(sizes, limit_fraction: float = 0.02) -> bool:
     return True
 
 
+def _check_obs_overhead(sizes, limit_fraction: float = 0.02) -> bool:
+    """Telemetry must be ~free when fully disabled, and silent when healthy.
+
+    Serves the same ``sls_many`` batch (best of 9, back to back in this
+    process) under three telemetry states:
+
+    * everything off — no metrics registry, no event log (the production
+      default: every hot-path site is one module-global load plus an
+      is-None/bool check);
+    * audit events enabled with an in-memory ring — the emission sites
+      only fire on the recovery ladder, so a healthy serve must emit
+      *zero* events and pay nothing beyond the gate;
+    * audit events journaling to a JSONL sink — same healthy-path
+      expectation with the file handle open.
+
+    Both enabled states must stay within ``limit_fraction`` (2%) of the
+    fully-disabled serve, results must stay bit-identical, and the event
+    log must come back empty.
+    """
+    import tempfile
+
+    import numpy as np
+
+    from bench_hotpaths import KEY
+    from repro.core.params import SecNDPParams
+    from repro.core.protocol import SecNDPProcessor, UntrustedNdpDevice
+    from repro.workloads.secure_sls import SecureEmbeddingStore
+
+    params = SecNDPParams(element_bits=32)
+    store = SecureEmbeddingStore(
+        SecNDPProcessor(KEY, params), UntrustedNdpDevice(params), quantization="table"
+    )
+    rng = np.random.default_rng(17)
+    n_rows = min(sizes["n_rows"], 2_048)
+    store.add_table("emb", rng.normal(size=(n_rows, sizes["dim"])))
+    pf = min(sizes["pf"], store.max_pooling_factor("emb"))
+    batch_rows = [
+        list(rng.integers(0, min(2 * pf, n_rows), size=pf))
+        for _ in range(sizes["batch"] * 2)
+    ]
+    serve = lambda: store.sls_many("emb", batch_rows)  # noqa: E731
+    serve()  # warm the OTP pad cache so no state favours either config
+
+    obs.disable()
+    obs.disable_events()
+
+    # Interleave the three states within each round and rotate their
+    # order per round, then judge each enabled state by the *median of
+    # its per-round ratios* against that same round's disabled serve.
+    # Paired ratios cancel the correlated frequency/thermal drift that a
+    # global best-of comparison turns into phantom overhead on noisy
+    # runners; the median shrugs off individual descheduled rounds.
+    outs = {}
+    counts = {"ring": 0, "sink": 0}
+
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    def measure_all():
+        rounds = {"off": [], "ring": [], "sink": []}
+        with tempfile.TemporaryDirectory() as tmp:
+            sink_path = Path(tmp) / "audit.jsonl"
+
+            def measure(state):
+                log = None
+                if state == "ring":
+                    log = obs.enable_events()
+                elif state == "sink":
+                    log = obs.enable_events(sink_path)
+                try:
+                    t0 = time.perf_counter()
+                    outs[state] = serve()
+                    rounds[state].append(time.perf_counter() - t0)
+                    if log is not None:
+                        counts[state] += log.total
+                finally:
+                    if log is not None:
+                        obs.disable_events()
+
+            order = ["off", "ring", "sink"]
+            for round_no in range(41):
+                for state in order[round_no % 3:] + order[: round_no % 3]:
+                    measure(state)
+        ratios = {
+            state: median(
+                [t / base for t, base in zip(rounds[state], rounds["off"])]
+            )
+            for state in ("ring", "sink")
+        }
+        return rounds, ratios
+
+    rounds, ratios = measure_all()
+    if any(r > 1.0 + limit_fraction for r in ratios.values()):
+        # The median-of-paired-ratios estimator still carries ~+-1.5%
+        # noise on busy runners; a genuine regression breaches twice in a
+        # row, noise essentially never does.  Keep the better estimate.
+        rounds2, ratios2 = measure_all()
+        for state in ratios:
+            if ratios2[state] < ratios[state]:
+                ratios[state] = ratios2[state]
+                rounds[state] = rounds2[state]
+        rounds["off"] = min([rounds["off"], rounds2["off"]], key=min)
+
+    t_off = min(rounds["off"])
+    out_off, out_ring, out_sink = outs["off"], outs["ring"], outs["sink"]
+    ring_events, sink_events = counts["ring"], counts["sink"]
+
+    assert np.array_equal(out_off, out_ring), "event ring changed results"
+    assert np.array_equal(out_off, out_sink), "event journal changed results"
+
+    ok = True
+    if ring_events or sink_events:
+        print(
+            f"FAIL: healthy serve emitted audit events "
+            f"(ring={ring_events}, journal={sink_events}); expected none"
+        )
+        ok = False
+
+    limit = 1.0 + limit_fraction
+    for label, state in (("ring enabled", "ring"), ("journal enabled", "sink")):
+        ratio = ratios[state]
+        print(
+            f"obs events {label}: best {min(rounds[state])*1e3:.1f} ms vs "
+            f"disabled {t_off*1e3:.1f} ms (paired median "
+            f"{(ratio - 1) * 100:+.1f}%; limit +{limit_fraction:.0%})"
+        )
+        if ratio > limit:
+            print(
+                f"FAIL: telemetry ({label}) costs {ratio:.3f}x the "
+                f"fully-disabled serve (limit {limit:.2f}x)"
+            )
+            ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -281,6 +420,9 @@ def main(argv=None) -> int:
         return 1
 
     if not _check_tiering_overhead(sizes):
+        return 1
+
+    if not _check_obs_overhead(sizes):
         return 1
 
     baseline_path = Path(args.baseline)

@@ -11,6 +11,9 @@ Usage::
     python -m repro chaos --fault-rate 1e-3 --workers 2
     python -m repro chaos --plan ci-default
     python -m repro table3 --scale smoke --stats --prewarm --hot-fraction 0.05
+    python -m repro obs report --scale smoke --slo "sls.batch.p99<50ms"
+    python -m repro obs report --prom metrics.prom --events audit.jsonl
+    python -m repro chaos --events audit.jsonl --slo "verify.failure_rate<0.2"
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md Sec. 4 for the experiment index).  ``--stats`` prints the
@@ -24,6 +27,16 @@ functional serving paths and pre-generates hot-set pads before queries;
 ``--hot-fraction F`` caps the hot set, and ``--stats`` then also prints
 the fleet-wide pad-cache hit rates (store + pool workers).
 
+Telemetry (DESIGN.md Sec. 13): ``obs report`` runs a functional serving
+pass and prints percentile tables, SLO budget status and recorded
+security events; ``--slo SPEC`` (repeatable, comma-separable) adds
+objectives like ``sls.batch.p99<5ms@2%`` or ``verify.failure_rate<0.01``
+and makes the command exit 1 when one is out of budget; ``--events
+PATH`` journals every security event as one JSON line to PATH (any
+command); ``--prom PATH`` writes the metrics snapshot in Prometheus text
+exposition format; ``--metrics PATH`` reports over a previously saved
+snapshot JSON instead of running anything.
+
 Unknown experiment names and invalid scales exit with status 2 and a
 one-line error, so shell scripts and CI steps fail fast without a
 traceback.
@@ -32,6 +45,7 @@ traceback.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Dict
@@ -109,7 +123,14 @@ def _build_parser() -> argparse.ArgumentParser:
     # produce a one-line error + exit code 2 instead of a traceback.
     parser.add_argument(
         "experiment",
-        help="experiment to run ('list' to enumerate, 'all' for everything)",
+        help="experiment to run ('list' to enumerate, 'all' for everything, "
+        "'obs' for telemetry commands)",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="sub-action for 'obs' (currently: report)",
     )
     parser.add_argument(
         "--scale",
@@ -173,12 +194,124 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap the tiering hot set at F of each table's rows "
         "(default: coverage-driven)",
     )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="service-level objective, e.g. 'sls.batch.p99<5ms@2%%' or "
+        "'verify.failure_rate<0.01' (repeatable; comma-separable); any "
+        "objective out of budget makes the command exit 1",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="journal every security event (verification failures, "
+        "recovery-ladder steps, quarantines, pool lifecycle) as one JSON "
+        "line appended to PATH",
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="PATH",
+        default=None,
+        help="write the metrics snapshot in Prometheus text exposition "
+        "format to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="obs report only: report over a previously saved snapshot "
+        "JSON instead of running a serving pass",
+    )
     return parser
 
 
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _journal_counts(path: str) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for event in obs.read_events(path):
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+def _write_prometheus(path: str, snap: dict, event_counts) -> None:
+    text = obs.to_prometheus(snap, event_counts=event_counts)
+    obs.validate_prometheus_text(text)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"prometheus metrics written to {path}")
+
+
+def _print_slo(statuses) -> bool:
+    """Print SLO status lines; True iff any objective is out of budget."""
+    print("== slo ==")
+    for status in statuses:
+        print(f"  {status.describe()}")
+    worst = max((s.state for s in statuses), default=0)
+    verdict = {0: "healthy", 1: "DEGRADED", 2: "CRITICAL"}[worst]
+    print(f"  overall: {verdict} (slo.degraded={worst})")
+    return any(not s.met for s in statuses)
+
+
+def _obs_report(args, scale: ExperimentScale, slo_specs) -> int:
+    """``repro obs report``: serve, then summarise telemetry + SLOs."""
+    workers = args.workers if args.workers is not None else default_workers()
+    if workers < 0:
+        return _fail(f"--workers must be >= 0, got {workers}")
+
+    event_counts = None
+    if args.metrics is not None:
+        # Offline mode: report over a saved snapshot (and, with --events,
+        # a recorded journal) without running anything.
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as fh:
+                snap = json.load(fh)
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot load snapshot {args.metrics!r}: {exc}")
+        if args.events is not None:
+            try:
+                event_counts = _journal_counts(args.events)
+            except OSError as exc:
+                return _fail(f"cannot load event journal {args.events!r}: {exc}")
+    else:
+        was_enabled = obs.enabled()
+        own_events = obs.event_log() is None
+        if args.events is not None:
+            obs.enable_events(args.events)
+        elif own_events:
+            obs.enable_events()
+        obs.enable()
+        try:
+            with obs.span("experiment.obs_report", cat="harness"):
+                run_functional_shadow(
+                    scale,
+                    workers=workers,
+                    prewarm=args.prewarm,
+                    hot_fraction=args.hot_fraction,
+                )
+            snap = obs.snapshot(include_samples=True)
+            log = obs.event_log()
+            if log is not None:
+                event_counts = log.counts_by_kind()
+        finally:
+            if not was_enabled:
+                obs.disable()
+            if args.events is not None or own_events:
+                obs.disable_events()
+
+    statuses = obs.SloTracker(slo_specs).evaluate(snap)
+    print(obs.format_report(snap, statuses=statuses, event_counts=event_counts))
+    if args.prom is not None:
+        _write_prometheus(args.prom, snap, event_counts)
+    if args.events is not None and args.metrics is None:
+        print(f"security-event journal appended to {args.events}")
+    return 1 if any(not s.met for s in statuses) else 0
 
 
 def main(argv=None) -> int:
@@ -188,32 +321,61 @@ def main(argv=None) -> int:
         for name, (description, _) in sorted(EXPERIMENTS.items()):
             print(f"  {name:8s} {description}")
         print("  chaos    evaluation workload under fault injection + recovery")
+        print("  obs      telemetry commands (obs report)")
         return 0
 
-    if args.experiment not in EXPERIMENTS and args.experiment not in ("all", "chaos"):
+    if args.experiment not in EXPERIMENTS and args.experiment not in (
+        "all",
+        "chaos",
+        "obs",
+    ):
         return _fail(
             f"unknown experiment {args.experiment!r} "
-            f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, chaos, list)"
+            f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, chaos, obs, list)"
         )
     if args.scale not in _SCALES:
         return _fail(
             f"invalid scale {args.scale!r} "
             f"(choose from: {', '.join(sorted(_SCALES))})"
         )
+    if args.hot_fraction is not None and not 0.0 < args.hot_fraction <= 1.0:
+        return _fail(f"--hot-fraction must be in (0, 1], got {args.hot_fraction}")
 
-    collect = args.stats or args.trace is not None
+    slo_specs = []
+    if args.slo:
+        try:
+            slo_specs = obs.parse_slo_specs(args.slo)
+        except ValueError as exc:
+            return _fail(str(exc))
+
+    if args.experiment == "obs":
+        action = args.action or "report"
+        if action != "report":
+            return _fail(f"unknown obs action {action!r} (choose from: report)")
+        return _obs_report(args, _SCALES[args.scale], slo_specs)
+    if args.action is not None:
+        return _fail(f"unexpected argument {args.action!r}")
+    if args.metrics is not None:
+        return _fail("--metrics only applies to 'obs report'")
+
+    collect = (
+        args.stats
+        or args.trace is not None
+        or args.slo is not None
+        or args.prom is not None
+    )
     was_enabled = obs.enabled()
     was_tracing = obs.tracing_enabled()
     if collect:
         obs.enable()
     if args.trace is not None:
         obs.enable_tracing()
+    if args.events is not None:
+        obs.enable_events(args.events)
 
     workers = args.workers if args.workers is not None else default_workers()
     if workers < 0:
         return _fail(f"--workers must be >= 0, got {workers}")
-    if args.hot_fraction is not None and not 0.0 < args.hot_fraction <= 1.0:
-        return _fail(f"--hot-fraction must be in (0, 1], got {args.hot_fraction}")
 
     if args.experiment == "chaos":
         try:
@@ -233,6 +395,7 @@ def main(argv=None) -> int:
             f"(scale={scale.name}, plan={plan.name}) =="
         )
         started = time.time()
+        slo_failed = False
         try:
             with obs.span("experiment.chaos", cat="harness"):
                 result = run_chaos(
@@ -247,6 +410,13 @@ def main(argv=None) -> int:
             if args.stats:
                 print("== metrics ==")
                 print(obs.format_snapshot(obs.snapshot()))
+            if args.slo is not None or args.prom is not None:
+                snap = obs.snapshot(include_samples=True)
+                if args.slo is not None:
+                    statuses = obs.SloTracker(slo_specs).evaluate(snap)
+                    slo_failed = _print_slo(statuses)
+                if args.prom is not None:
+                    _write_prometheus(args.prom, snap, result.events)
             if args.trace is not None:
                 path = obs.write_trace(args.trace)
                 print(f"trace written to {path}")
@@ -255,16 +425,19 @@ def main(argv=None) -> int:
                 obs.disable()
             if args.trace is not None and not was_tracing:
                 obs.disable_tracing()
+            if args.events is not None:
+                obs.disable_events()
         if result.detection_rate < 1.0 or result.mismatched:
             return _fail(
                 f"chaos run failed: detection rate "
                 f"{result.detection_rate:.3f}, {result.mismatched} mismatches"
             )
-        return 0
+        return 1 if slo_failed else 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     scale = _SCALES[args.scale]
     collected = {}
+    slo_failed = False
     try:
         for name in names:
             description, runner = EXPERIMENTS[name]
@@ -306,6 +479,15 @@ def main(argv=None) -> int:
                         f"hit_rate={rate:.3f} evictions={info.evictions} "
                         f"size={info.currsize}/{info.maxsize}"
                     )
+        if args.slo is not None or args.prom is not None:
+            snap = obs.snapshot(include_samples=True)
+            log = obs.event_log()
+            event_counts = log.counts_by_kind() if log is not None else None
+            if args.slo is not None:
+                statuses = obs.SloTracker(slo_specs).evaluate(snap)
+                slo_failed = _print_slo(statuses)
+            if args.prom is not None:
+                _write_prometheus(args.prom, snap, event_counts)
         if args.trace is not None:
             path = obs.write_trace(args.trace)
             print(f"trace written to {path}")
@@ -314,7 +496,9 @@ def main(argv=None) -> int:
             obs.disable()
         if args.trace is not None and not was_tracing:
             obs.disable_tracing()
-    return 0
+        if args.events is not None:
+            obs.disable_events()
+    return 1 if slo_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

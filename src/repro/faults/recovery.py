@@ -22,17 +22,24 @@ four-rung ladder, climbed per failing query:
    ``reencrypt_after`` repairs: the region is re-keyed fresh into
    untrusted memory (Sec. V-A version bump), clearing the quarantine.
 
-Every rung is observable (``recovery.*`` counters / spans) and every
+Every rung is observable (``recovery.*`` counters / spans), every
 outcome is recorded in a bounded :class:`RecoveryLog` so chaos harnesses
-can prove detection and recovery rates instead of asserting them.
+can prove detection and recovery rates instead of asserting them, and
+every quarantine/repair/re-encryption emits a typed audit event
+(:mod:`repro.obs.events`).  With a JSONL event sink configured those
+events double as a *persistent quarantine journal*:
+:meth:`RecoveryLog.replay_events` rebuilds quarantine and repair state
+from a recorded stream, so a restarted store keeps refusing known-bad
+rows (see ``SecureEmbeddingStore.load_quarantine_journal``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
+from .. import obs
 from ..errors import RecoveryExhaustedError
 
 __all__ = ["RecoveryPolicy", "RecoveryOutcome", "RecoveryLog", "RecoveryExhaustedError"]
@@ -117,7 +124,9 @@ class RecoveryLog:
             self.outcomes.append(outcome)
 
     def quarantine_rows(self, table: str, rows: Sequence[int]) -> None:
-        self.quarantined.setdefault(table, set()).update(int(r) for r in rows)
+        row_ids = [int(r) for r in rows]
+        self.quarantined.setdefault(table, set()).update(row_ids)
+        obs.emit_event(obs.QUARANTINE, table=table, rows=row_ids)
 
     def quarantined_rows(self, table: str) -> Set[int]:
         return self.quarantined.get(table, set())
@@ -132,6 +141,37 @@ class RecoveryLog:
 
     def note_reencryption(self, table: str) -> None:
         self.reencryptions[table] = self.reencryptions.get(table, 0) + 1
+
+    # -- persistent journal (repro.obs.events) ---------------------------------
+
+    def replay_events(self, events: Iterable["obs.SecurityEvent"]) -> int:
+        """Rebuild quarantine/repair/re-encryption state from audit events.
+
+        Mutates the dicts *directly* — replay must never re-emit, or a
+        journal reload would append every event to the journal again.
+        A ``reencrypt`` event clears the table's quarantine exactly like
+        the live ladder does (the region was re-keyed; the old damage is
+        gone).  Returns the number of state-bearing events applied.
+        """
+        applied = 0
+        for event in events:
+            if event.table is None:
+                continue
+            if event.kind == obs.QUARANTINE:
+                self.quarantined.setdefault(event.table, set()).update(event.rows)
+                applied += 1
+            elif event.kind == obs.RECOVERY_REPAIR:
+                n = len(event.rows) or int(event.details.get("repaired", 0))
+                self.repairs[event.table] = self.repairs.get(event.table, 0) + n
+                applied += 1
+            elif event.kind == obs.REENCRYPT:
+                self.reencryptions[event.table] = (
+                    self.reencryptions.get(event.table, 0) + 1
+                )
+                self.quarantined.pop(event.table, None)
+                self.repairs.pop(event.table, None)
+                applied += 1
+        return applied
 
     # -- chaos-harness accounting ---------------------------------------------
 

@@ -16,8 +16,17 @@ the recovery behaviour the paper leaves to the enclave.  One run:
    compares every pooled vector bit-for-bit against the golden stream;
 4. accounts per query: a query is *exposed* when it touched a corrupted
    row or a transient fault fired during its serve, and its fault is
-   *detected* when the recovery log shows a verification failure (or a
-   quarantine hit) for it.
+   *detected* when the security-event audit log (:mod:`repro.obs.events`)
+   records a ``verify_failure`` or ``quarantine_hit`` event whose row
+   attribution matches the query.
+
+Detection/recovery accounting is driven entirely from recorded audit
+events: the harness installs an in-memory event log for the run when
+none is configured (a CLI ``--events PATH`` sink is used as-is), matches
+per-query events by (table, rows) attribution, and rebuilds the
+aggregate quarantine/repair/re-encryption state by *replaying* the run's
+events through a fresh :class:`RecoveryLog` — the same machinery the
+persistent quarantine journal uses, so every chaos run exercises it.
 
 Tag-covered faults must reach detection rate 1.0 and recovery rate 1.0
 with zero mismatches (``tests/test_faults.py`` asserts this at the
@@ -28,7 +37,7 @@ ratio and in the ``recovery.*`` counters.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -43,6 +52,7 @@ from ..faults import (
     FaultPlan,
     RecoveryPolicy,
 )
+from ..faults.recovery import RecoveryLog
 from ..parallel.engine import ParallelSlsEngine
 from ..workloads.secure_sls import SecureEmbeddingStore
 from ..workloads.traces import random_trace
@@ -93,6 +103,8 @@ class ChaosResult:
     reencryptions: int
     golden_s: float
     chaos_s: float
+    #: audit events recorded during the serve, by kind (repro.obs.events)
+    events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def detection_rate(self) -> float:
@@ -119,11 +131,15 @@ class ChaosResult:
         res = ", ".join(
             f"{k}={v}" for k, v in sorted(self.resolutions.items())
         ) or "none"
+        evs = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.events.items())
+        ) or "none"
         lines = [
             f"plan {self.plan} | workers {self.workers} | "
             f"{self.tables} tables, {self.queries} queries",
             f"injected: {inj}",
             f"resolutions: {res}",
+            f"audit events: {evs}",
             f"exposed {self.exposed}, detected {self.detected} "
             f"(detection rate {self.detection_rate:.3f})",
             f"recovered {self.exposed - self.exposed_mismatched}/{self.exposed} "
@@ -257,15 +273,32 @@ def run_chaos(
     serve = engine.sls_many if engine is not None else chaos.sls_many
 
     log = chaos.recovery_log
+    # Detection is proven from the audit log, not ad-hoc counters: every
+    # ladder step emits a typed event with (table, rows) attribution, and
+    # a query counts as detected iff such an event names exactly its
+    # rows.  Reuse an installed log (e.g. the CLI's --events sink) so the
+    # run journals to disk; otherwise install an in-memory one for the
+    # run and uninstall it afterwards.
+    own_log = obs.event_log() is None
+    if own_log:
+        obs.enable_events()
+    event_log = obs.event_log()
+    ev_start = len(event_log)
+    run_events: List[obs.SecurityEvent] = []
     queries = mismatched = exposed = detected = exposed_mismatched = 0
     started = time.perf_counter()
     try:
         with obs.span("chaos.serve", cat="harness"):
             for name, rows_list, weights_list in batches:
-                n_outcomes = len(log.outcomes)
                 n_events = len(injector.events)
+                ev_mark = len(event_log)
                 got = serve(name, rows_list, weights_list)
-                outcomes = log.outcomes[n_outcomes:]
+                detected_rows = {
+                    tuple(ev.rows)
+                    for ev in event_log.events()[ev_mark:]
+                    if ev.table == name
+                    and ev.kind in (obs.VERIFY_FAILURE, obs.QUARANTINE_HIT)
+                }
                 transient_ids = _transient_query_ids(
                     injector.events[n_events:], name
                 )
@@ -278,14 +311,14 @@ def run_chaos(
                     if not (bad_rows.intersection(rows) or i in transient_ids):
                         continue
                     exposed += 1
-                    outcome = outcomes[i] if i < len(outcomes) else None
-                    if outcome is not None and (
-                        outcome.detected or outcome.resolved_via == "quarantined"
-                    ):
+                    if tuple(int(r) for r in rows) in detected_rows:
                         detected += 1
                     if not ok:
                         exposed_mismatched += 1
     finally:
+        run_events = event_log.events()[ev_start:]
+        if own_log:
+            obs.disable_events()
         # Fleet-wide pad-cache views must be captured before the pool is
         # torn down (workers report cache state alongside task results).
         from ..crypto.otp import publish_cache_gauges
@@ -301,6 +334,16 @@ def run_chaos(
             chaos.tiering.publish_gauges()
     chaos_s = time.perf_counter() - started
 
+    # Rebuild the aggregate recovery state by replaying the run's audit
+    # events through a fresh log — the exact code path a restarted store
+    # uses to reload a persistent quarantine journal, exercised here on
+    # every chaos run (and cross-checkable against chaos.recovery_log).
+    replayed = RecoveryLog()
+    replayed.replay_events(run_events)
+    event_counts: Dict[str, int] = {}
+    for ev in run_events:
+        event_counts[ev.kind] = event_counts.get(ev.kind, 0) + 1
+
     result = ChaosResult(
         plan=plan.name,
         workers=workers,
@@ -312,11 +355,12 @@ def run_chaos(
         exposed_mismatched=exposed_mismatched,
         injected=injector.event_counts(),
         resolutions=log.counts_by_resolution(),
-        quarantined=sum(len(v) for v in log.quarantined.values()),
-        repairs=sum(log.repairs.values()),
-        reencryptions=sum(log.reencryptions.values()),
+        quarantined=sum(len(v) for v in replayed.quarantined.values()),
+        repairs=sum(replayed.repairs.values()),
+        reencryptions=sum(replayed.reencryptions.values()),
         golden_s=golden_s,
         chaos_s=chaos_s,
+        events=event_counts,
     )
     obs.gauge("chaos.detection_rate", result.detection_rate)
     obs.gauge("chaos.recovery_rate", result.recovery_rate)
@@ -324,4 +368,6 @@ def run_chaos(
     obs.inc("chaos.queries", queries)
     obs.inc("chaos.exposed", exposed)
     obs.inc("chaos.mismatched", mismatched)
+    for kind, n in sorted(event_counts.items()):
+        obs.inc(f"chaos.events.{kind}", n)
     return result

@@ -1,4 +1,4 @@
-"""Observability layer: metrics registry + phase tracing.
+"""Observability layer: metrics, tracing, SLOs, and security auditing.
 
 One import point for every instrumented layer::
 
@@ -7,13 +7,53 @@ One import point for every instrumented layer::
     obs.inc("otp.cache.hit", hits)          # counter (no-op when disabled)
     with obs.span("protocol.verify"):       # timer + optional trace event
         ...
+    obs.emit_event(obs.QUARANTINE, table="t", rows=[3])  # audit record
 
-Enable with :func:`enable` (metrics), :func:`enable_tracing` (Chrome
-trace events), the CLI ``--stats`` / ``--trace`` flags, or
-``SECNDP_METRICS=1`` in the environment.  DESIGN.md Sec. 9 documents
-the metric naming scheme and the trace-reading workflow.
+Four sub-layers, each independently gated and each a no-op by default:
+
+* :mod:`.metrics` — counters/gauges + log-bucketed timer histograms
+  (:mod:`.hist`) that merge exactly across worker processes.
+* :mod:`.tracing` — hierarchical phase spans with Chrome trace export.
+* :mod:`.events` — typed JSONL security-event audit log (verification
+  failures, recovery-ladder steps, quarantines, re-encryptions, pool
+  lifecycle) with row/version/worker attribution.
+* :mod:`.slo` / :mod:`.export` — objectives with error budgets and burn
+  rates over snapshots, a Prometheus text exporter, and the human
+  report behind ``python -m repro obs report``.
+
+Enable with :func:`enable` (metrics), :func:`enable_tracing`,
+:func:`enable_events`, the CLI ``--stats`` / ``--trace`` / ``--events``
+flags, or ``SECNDP_METRICS=1`` / ``SECNDP_EVENTS=...`` in the
+environment.  DESIGN.md Sec. 9 documents metric naming; Sec. 13 the
+histogram/SLO/event architecture.
 """
 
+from . import events as _events_mod
+from .events import (
+    EVENT_KINDS,
+    POOL_DEGRADE,
+    POOL_RESPAWN,
+    QUARANTINE,
+    QUARANTINE_HIT,
+    RECOVERY_DELEGATION,
+    RECOVERY_EXHAUSTED,
+    RECOVERY_FALLBACK,
+    RECOVERY_REPAIR,
+    RECOVERY_RETRY,
+    REENCRYPT,
+    STALE_ARENA,
+    TASK_FAILURE,
+    VERIFY_FAILURE,
+    EventLog,
+    SecurityEvent,
+    disable_events,
+    enable_events,
+    event_log,
+    events_enabled,
+    read_events,
+)
+from .export import format_report, to_prometheus, validate_prometheus_text
+from .hist import PRECISION_BITS, RELATIVE_ERROR, LogHistogram
 from .metrics import (
     MetricsRegistry,
     disable,
@@ -28,6 +68,7 @@ from .metrics import (
     reset,
     snapshot,
 )
+from .slo import SloSpec, SloStatus, SloTracker, parse_slo_specs
 from .tracing import (
     MAX_TRACE_EVENTS,
     clear_trace,
@@ -36,6 +77,7 @@ from .tracing import (
     ingest_events,
     set_worker_label,
     span,
+    trace_dropped,
     trace_events,
     traced,
     tracing_enabled,
@@ -43,7 +85,12 @@ from .tracing import (
     write_trace,
 )
 
+#: Alias so call sites read ``obs.emit_event(...)`` without shadowing
+#: other modules' ``emit`` helpers.
+emit_event = _events_mod.emit
+
 __all__ = [
+    # metrics
     "MetricsRegistry",
     "enable",
     "disable",
@@ -56,6 +103,11 @@ __all__ = [
     "snapshot",
     "merge",
     "format_snapshot",
+    # histograms
+    "LogHistogram",
+    "PRECISION_BITS",
+    "RELATIVE_ERROR",
+    # tracing
     "span",
     "set_worker_label",
     "worker_label",
@@ -65,7 +117,39 @@ __all__ = [
     "disable_tracing",
     "tracing_enabled",
     "trace_events",
+    "trace_dropped",
     "clear_trace",
     "write_trace",
     "MAX_TRACE_EVENTS",
+    # events
+    "SecurityEvent",
+    "EventLog",
+    "emit_event",
+    "enable_events",
+    "disable_events",
+    "events_enabled",
+    "event_log",
+    "read_events",
+    "EVENT_KINDS",
+    "VERIFY_FAILURE",
+    "RECOVERY_RETRY",
+    "RECOVERY_FALLBACK",
+    "RECOVERY_REPAIR",
+    "RECOVERY_EXHAUSTED",
+    "RECOVERY_DELEGATION",
+    "QUARANTINE",
+    "QUARANTINE_HIT",
+    "REENCRYPT",
+    "POOL_RESPAWN",
+    "POOL_DEGRADE",
+    "STALE_ARENA",
+    "TASK_FAILURE",
+    # slo + export
+    "SloSpec",
+    "SloStatus",
+    "SloTracker",
+    "parse_slo_specs",
+    "to_prometheus",
+    "validate_prometheus_text",
+    "format_report",
 ]

@@ -13,16 +13,19 @@ metrics are off, so instrumented call sites cost one predictable branch
 on the hot paths.  Enable via :func:`enable`, the CLI ``--stats`` /
 ``--trace`` flags, or the ``SECNDP_METRICS=1`` environment variable.
 
-Timer metrics keep a bounded ring of recent samples (plus exact
-count/total/max), so snapshots report p50/p95 without unbounded memory
-growth on long runs.
+Timer metrics are log-bucketed histograms (:mod:`repro.obs.hist`):
+exact count/total/min/max plus sparse buckets with bounded relative
+error, so percentiles stay correct on arbitrarily long runs and merge
+*exactly* across worker processes (DESIGN.md Sec. 13).
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, List, Union
+from typing import Dict, Union
+
+from .hist import RELATIVE_ERROR, LogHistogram
 
 __all__ = [
     "MetricsRegistry",
@@ -38,73 +41,76 @@ __all__ = [
     "snapshot",
     "merge",
     "format_snapshot",
+    "RELATIVE_ERROR",
 ]
-
-#: Ring-buffer capacity for timer samples, per metric.  Exact count,
-#: total and max are tracked separately; percentiles come from the most
-#: recent ``_TIMER_SAMPLES`` observations.
-_TIMER_SAMPLES = 4096
 
 
 class _Timer:
-    """One ns-resolution duration series: exact aggregates + sample ring."""
+    """One ns-resolution duration series over a mergeable log histogram."""
 
-    __slots__ = ("count", "total_ns", "max_ns", "samples")
+    __slots__ = ("hist",)
 
     def __init__(self) -> None:
-        self.count = 0
-        self.total_ns = 0
-        self.max_ns = 0
-        self.samples: List[int] = []
+        self.hist = LogHistogram()
 
     def observe(self, ns: int) -> None:
-        if self.count < _TIMER_SAMPLES:
-            self.samples.append(ns)
-        else:
-            self.samples[self.count % _TIMER_SAMPLES] = ns
-        self.count += 1
-        self.total_ns += ns
-        if ns > self.max_ns:
-            self.max_ns = ns
+        self.hist.observe(ns)
 
-    def stats(self, include_samples: bool = False) -> Dict[str, Union[int, float, list]]:
-        ordered = sorted(self.samples)
-        n = len(ordered)
-
-        def pct(q: float) -> int:
-            return ordered[min(n - 1, int(q * n))] if n else 0
-
-        out: Dict[str, Union[int, float, list]] = {
-            "count": self.count,
-            "total_ns": self.total_ns,
-            "mean_ns": self.total_ns / self.count if self.count else 0.0,
-            "p50_ns": pct(0.50),
-            "p95_ns": pct(0.95),
-            "max_ns": self.max_ns,
+    def stats(self, include_dist: bool = False) -> Dict[str, Union[int, float, dict]]:
+        h = self.hist
+        out: Dict[str, Union[int, float, dict]] = {
+            "count": h.count,
+            "total_ns": h.total,
+            "mean_ns": h.mean,
+            "p50_ns": h.percentile(0.50),
+            "p95_ns": h.percentile(0.95),
+            "p99_ns": h.percentile(0.99),
+            "max_ns": h.max,
         }
-        if include_samples:
-            out["samples"] = list(self.samples)
+        if include_dist:
+            out["min_ns"] = h.min
+            out["buckets"] = {str(i): n for i, n in sorted(h.buckets.items())}
         return out
 
     def absorb(self, stats: dict) -> None:
         """Fold another timer's snapshot into this one (cross-process merge).
 
-        Exact aggregates (count/total/max) always merge exactly; the
-        percentile sample ring absorbs the remote ``samples`` list when
-        the snapshot carries one (``snapshot(include_samples=True)``).
+        When the snapshot carries the histogram ``buckets``
+        (``snapshot(include_samples=True)``), the merge is *exact*: the
+        result is bit-identical to a single histogram that saw every
+        observation.  Aggregate-only snapshots still merge their exact
+        count/total/max (their distribution cannot contribute to
+        percentiles).  Legacy ``samples`` payloads (pre-histogram
+        snapshots) are re-observed individually.
         """
-        remote_count = int(stats.get("count", 0))
-        self.total_ns += int(stats.get("total_ns", 0))
-        self.max_ns = max(self.max_ns, int(stats.get("max_ns", 0)))
-        for ns in stats.get("samples", ()):
-            if self.count < _TIMER_SAMPLES:
-                self.samples.append(int(ns))
-            else:
-                self.samples[self.count % _TIMER_SAMPLES] = int(ns)
-            self.count += 1
-            remote_count -= 1
-        if remote_count > 0:
-            self.count += remote_count
+        h = self.hist
+        buckets = stats.get("buckets")
+        if buckets is not None:
+            h.merge_dict(
+                {
+                    "count": stats.get("count", 0),
+                    "total": stats.get("total_ns", 0),
+                    "min": stats.get("min_ns", stats.get("max_ns", 0)),
+                    "max": stats.get("max_ns", 0),
+                    "buckets": buckets,
+                }
+            )
+            return
+        samples = stats.get("samples")
+        if samples is not None:
+            for ns in samples:
+                h.observe(int(ns))
+            extra = int(stats.get("count", 0)) - len(samples)
+            if extra > 0:
+                h.count += extra
+            h.total += int(stats.get("total_ns", 0)) - sum(int(s) for s in samples)
+            if int(stats.get("max_ns", 0)) > h.max:
+                h.max = int(stats.get("max_ns", 0))
+            return
+        h.count += int(stats.get("count", 0))
+        h.total += int(stats.get("total_ns", 0))
+        if int(stats.get("max_ns", 0)) > h.max:
+            h.max = int(stats.get("max_ns", 0))
 
 
 class MetricsRegistry:
@@ -147,18 +153,21 @@ class MetricsRegistry:
         """Plain-dict view: ``{"counters": ..., "gauges": ..., "timers": ...}``.
 
         Timer entries expose ``count / total_ns / mean_ns / p50_ns /
-        p95_ns / max_ns``.  The result is JSON-serialisable (and
-        picklable) as-is, which is what lets worker processes ship their
-        registries back to the parent.  ``include_samples`` additionally
-        attaches each timer's raw sample ring so :meth:`merge` can
-        preserve percentiles across the process boundary.
+        p95_ns / p99_ns / max_ns``.  The result is JSON-serialisable
+        (and picklable) as-is, which is what lets worker processes ship
+        their registries back to the parent.  ``include_samples``
+        additionally attaches each timer's histogram buckets (and exact
+        ``min_ns``) so :meth:`merge` reconstructs the distribution
+        *exactly* across the process boundary — the parameter keeps its
+        historical name; since the ring-sampled timers were replaced by
+        log-bucketed histograms it ships bucket counts, not raw samples.
         """
         with self._lock:
             return {
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
                 "timers": {
-                    name: timer.stats(include_samples=include_samples)
+                    name: timer.stats(include_dist=include_samples)
                     for name, timer in sorted(self._timers.items())
                 },
             }
@@ -167,7 +176,7 @@ class MetricsRegistry:
         """Aggregate a :meth:`snapshot` from another registry into this one.
 
         Counters add, gauges take the incoming value (last write wins),
-        timers fold exact aggregates and absorb percentile samples when
+        timers fold exact aggregates and merge histogram buckets when
         the snapshot carries them.  This is how per-worker registries
         drain into the parent process instead of vanishing with the
         worker (`repro.parallel` calls it on every task return).
@@ -258,7 +267,7 @@ def merge(snap: dict) -> None:
 
 def format_snapshot(snap: dict) -> str:
     """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
-    lines: List[str] = []
+    lines: list = []
     counters = snap.get("counters", {})
     gauges = snap.get("gauges", {})
     timers = snap.get("timers", {})
@@ -281,6 +290,7 @@ def format_snapshot(snap: dict) -> str:
                 f"  total={t['total_ns'] / 1e3:.1f}"
                 f"  p50={t['p50_ns'] / 1e3:.1f}"
                 f"  p95={t['p95_ns'] / 1e3:.1f}"
+                f"  p99={t.get('p99_ns', t['p95_ns']) / 1e3:.1f}"
                 f"  max={t['max_ns'] / 1e3:.1f}"
             )
     if not lines:

@@ -13,8 +13,12 @@ shared no-op context manager and :func:`traced`-wrapped functions call
 straight through, keeping disabled overhead at one branch + one call.
 
 The event buffer is bounded (:data:`MAX_TRACE_EVENTS`); overflow drops
-new events and counts them in the ``obs.trace.dropped`` counter rather
-than growing without bound on long runs.
+new events and counts them — in the module-level tally exposed by
+:func:`trace_dropped` *and* in the ``obs.trace.dropped`` registry
+counter, which is written through to the registry directly (bypassing
+the metrics on/off gate) so drop accounting works identically in
+tracing-only mode.  :func:`clear_trace` resets the tally along with the
+buffer.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ __all__ = [
     "set_worker_label",
     "worker_label",
     "ingest_events",
+    "trace_dropped",
     "MAX_TRACE_EVENTS",
 ]
 
@@ -54,6 +59,28 @@ _events: List[Dict[str, Any]] = []
 _events_lock = threading.Lock()
 _epoch_ns = time.perf_counter_ns()
 _local = threading.local()
+
+#: Events dropped since the last :func:`clear_trace` (buffer overflow).
+_dropped = 0
+
+
+def _note_drop(n: int = 1) -> None:
+    """Record ``n`` dropped events.  Caller must hold ``_events_lock``.
+
+    Writes the registry counter directly (not through the gated
+    :func:`metrics.inc` helper) so the count is kept even when only
+    tracing is enabled — a drop is a fact about the trace being
+    exported, not an optional metric.
+    """
+    global _dropped
+    _dropped += n
+    metrics.get_registry().inc("obs.trace.dropped", n)
+
+
+def trace_dropped() -> int:
+    """Events dropped on buffer overflow since the last :func:`clear_trace`."""
+    with _events_lock:
+        return _dropped
 
 
 def enable_tracing() -> None:
@@ -102,12 +129,14 @@ def ingest_events(events: List[Dict[str, Any]]) -> None:
             if len(_events) < MAX_TRACE_EVENTS:
                 _events.append(event)
             else:
-                metrics.inc("obs.trace.dropped")
+                _note_drop()
 
 
 def clear_trace() -> None:
+    global _dropped
     with _events_lock:
         _events.clear()
+        _dropped = 0
 
 
 def trace_events() -> List[Dict[str, Any]]:
@@ -155,7 +184,7 @@ class _Span:
                 if len(_events) < MAX_TRACE_EVENTS:
                     _events.append(event)
                 else:
-                    metrics.inc("obs.trace.dropped")
+                    _note_drop()
 
 
 class _NoopSpan:

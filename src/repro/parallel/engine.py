@@ -62,12 +62,24 @@ from .shm import (
     unpack_tags,
 )
 
-__all__ = ["ParallelSlsEngine", "ENV_TASK_TIMEOUT", "DEFAULT_TASK_TIMEOUT"]
+__all__ = [
+    "ParallelSlsEngine",
+    "ENV_TASK_TIMEOUT",
+    "DEFAULT_TASK_TIMEOUT",
+    "ENV_SNAPSHOT_INTERVAL",
+]
 
 #: Per-batch dispatch deadline in seconds; a crashed or hung worker must
 #: not wedge the parent past this.
 ENV_TASK_TIMEOUT = "SECNDP_TASK_TIMEOUT"
 DEFAULT_TASK_TIMEOUT = 60.0
+
+#: Minimum seconds between metric-snapshot pushes from a worker.  The
+#: default (0) ships a snapshot with *every* task result — maximum
+#: fidelity for the parent's live fleet view; a positive interval lets a
+#: worker accumulate across tasks and ship at most one snapshot per
+#: interval, trading freshness for smaller result payloads.
+ENV_SNAPSHOT_INTERVAL = "SECNDP_SNAPSHOT_INTERVAL"
 
 
 def resolve_task_timeout(value: Optional[float] = None) -> float:
@@ -81,6 +93,19 @@ def resolve_task_timeout(value: Optional[float] = None) -> float:
         except ValueError:
             pass
     return DEFAULT_TASK_TIMEOUT
+
+
+def resolve_snapshot_interval(value: Optional[float] = None) -> float:
+    """Explicit value, else ``SECNDP_SNAPSHOT_INTERVAL``, else 0 (per task)."""
+    if value is not None:
+        return max(0.0, float(value))
+    raw = os.environ.get(ENV_SNAPSHOT_INTERVAL, "").strip()
+    if raw:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            pass
+    return 0.0
 
 
 class _TableSpec(NamedTuple):
@@ -191,6 +216,7 @@ def _engine_sls_task(args):
         with_tags,
         collect_metrics,
         collect_trace,
+        snapshot_interval,
         directive,
     ) = args
     if directive is not None:
@@ -213,10 +239,21 @@ def _engine_sls_task(args):
         part = processor.partial_row_sum_batch(
             device, name, sub_rows, sub_weights, with_tag_shares=with_tags
         )
-    snap = obs.snapshot(include_samples=True) if collect_metrics else None
-    events = obs.trace_events() if collect_trace else None
+    # Periodic live push: with the default interval of 0 every task
+    # result carries a snapshot (the parent merges them as they arrive,
+    # so the fleet view is live, not teardown-time); a positive interval
+    # accumulates in the worker's registry and ships at most once per
+    # interval.  The registry is reset only when a snapshot actually
+    # ships, so nothing is double-counted and at most one interval's
+    # tail is lost at teardown.
+    snap = None
     if collect_metrics:
-        obs.reset()
+        now = time.monotonic()
+        if snapshot_interval <= 0 or now - _WORKER.get("last_push", 0.0) >= snapshot_interval:
+            snap = obs.snapshot(include_samples=True)
+            obs.reset()
+            _WORKER["last_push"] = now
+    events = obs.trace_events() if collect_trace else None
     if collect_trace:
         obs.clear_trace()
     cache = (
@@ -245,6 +282,10 @@ class ParallelSlsEngine:
     task_timeout:
         Seconds a batch dispatch may take before the pool is declared
         unhealthy; ``None`` defers to ``SECNDP_TASK_TIMEOUT`` (else 60).
+    snapshot_interval:
+        Minimum seconds between a worker's metric-snapshot pushes;
+        ``None`` defers to ``SECNDP_SNAPSHOT_INTERVAL`` (else 0 = one
+        snapshot per task, the highest-fidelity live fleet view).
 
     Use as a context manager (or call :meth:`close`) so the pool and the
     shared segments are released deterministically.
@@ -255,10 +296,12 @@ class ParallelSlsEngine:
         store,
         workers: Optional[int] = None,
         task_timeout: Optional[float] = None,
+        snapshot_interval: Optional[float] = None,
     ):
         self.store = store
         self.workers = resolve_workers(workers)
         self.task_timeout = resolve_task_timeout(task_timeout)
+        self.snapshot_interval = resolve_snapshot_interval(snapshot_interval)
         self._pool = None
         self._segments: list = []
         self._bounds: Dict[str, np.ndarray] = {}
@@ -376,6 +419,7 @@ class ParallelSlsEngine:
     def _respawn(self) -> bool:
         """Tear the pool down and rebuild it from the store's live state."""
         obs.inc("parallel.engine.respawns")
+        obs.emit_event(obs.POOL_RESPAWN, workers=self.workers)
         self._teardown()
         self._bounds = {}
         self._versions = {}
@@ -389,6 +433,7 @@ class ParallelSlsEngine:
     def _degrade(self) -> None:
         """Give up on the pool for good; serve in-process from now on."""
         obs.inc("parallel.engine.degraded")
+        obs.emit_event(obs.POOL_DEGRADE, workers=self.workers)
         self._teardown()
         self.workers = 0
 
@@ -452,6 +497,12 @@ class ParallelSlsEngine:
             # ciphertext under retired versions.  Rebuild the pool from
             # the live device before serving.
             obs.inc("parallel.engine.stale_table")
+            obs.emit_event(
+                obs.STALE_ARENA,
+                table=name,
+                version=enc.version,
+                arena_version=self._versions.get(name),
+            )
             if not self._respawn():
                 self._degrade()
                 return store.sls_many(name, batch_rows, batch_weights)
@@ -509,6 +560,7 @@ class ParallelSlsEngine:
                     store.verify,
                     collect_metrics,
                     collect_trace,
+                    self.snapshot_interval,
                     directive,
                 )
             )
@@ -525,7 +577,7 @@ class ParallelSlsEngine:
             # pool once and retry with fault directives stripped - a
             # retried batch must be able to succeed - then degrade.
             if self._respawn():
-                payloads = self._dispatch([t[:6] + (None,) for t in tasks])
+                payloads = self._dispatch([t[:7] + (None,) for t in tasks])
             if payloads is None:
                 self._degrade()
                 return store.sls_many(name, batch_rows, batch_weights)
@@ -553,6 +605,12 @@ class ParallelSlsEngine:
             # recompute -> repair), which serves it bit-exactly.
             obs.inc("recovery.detections")
             obs.inc("parallel.engine.recovery_delegations")
+            obs.emit_event(
+                obs.RECOVERY_DELEGATION,
+                table=name,
+                rows=sorted({int(r) for rows in rows_list for r in rows}),
+                queries=len(rows_list),
+            )
             return store.sls_many(name, batch_rows, batch_weights)
         out = np.zeros((len(rows_list), entry.dim))
         for i, (result, weights) in enumerate(zip(results, weights_list)):
@@ -567,8 +625,13 @@ class ParallelSlsEngine:
                 return self._pool.map_async(_engine_sls_task, tasks).get(
                     timeout=self.task_timeout
                 )
-        except Exception:
+        except Exception as exc:
             obs.inc("parallel.engine.task_failures")
+            obs.emit_event(
+                obs.TASK_FAILURE,
+                table=tasks[0][0] if tasks else None,
+                error=type(exc).__name__,
+            )
             return None
 
     # -- introspection ---------------------------------------------------------

@@ -303,9 +303,13 @@ class SecureEmbeddingStore:
         obs.inc("sls.queries")
         if self.recovery is not None:
             return self._serve_query_recovering(name, 0, rows, weights, entry)
-        result = self.processor.weighted_row_sum(
-            self.device, name, rows, weights, verify=self.verify
-        )
+        try:
+            result = self.processor.weighted_row_sum(
+                self.device, name, rows, weights, verify=self.verify
+            )
+        except VerificationError:
+            obs.emit_event(obs.VERIFY_FAILURE, table=name, rows=rows)
+            raise
         pooled_q = result.values.astype(np.float64)[: entry.dim]
         return pooled_q * entry.scale + entry.bias * float(sum(weights))
 
@@ -371,9 +375,19 @@ class SecureEmbeddingStore:
         if self.recovery is not None:
             return self._serve_many_recovering(name, rows_list, weights_list, entry)
         with obs.span("sls.batch"):
-            results = self.processor.weighted_row_sum_batch(
-                self.device, name, rows_list, weights_list, verify=self.verify
-            )
+            try:
+                results = self.processor.weighted_row_sum_batch(
+                    self.device, name, rows_list, weights_list, verify=self.verify
+                )
+            except VerificationError:
+                obs.emit_event(
+                    obs.VERIFY_FAILURE,
+                    table=name,
+                    rows=sorted({r for rows in rows_list for r in rows}),
+                    scope="batch",
+                    queries=len(rows_list),
+                )
+                raise
         out = np.zeros((len(rows_list), entry.dim))
         for i, (result, weights) in enumerate(zip(results, weights_list)):
             pooled_q = result.values.astype(np.float64)[: entry.dim]
@@ -447,6 +461,13 @@ class SecureEmbeddingStore:
             except VerificationError:
                 obs.inc("recovery.detections")
                 obs.inc("recovery.batch_degradations")
+                obs.emit_event(
+                    obs.VERIFY_FAILURE,
+                    table=name,
+                    rows=sorted({r for rows in rows_list for r in rows}),
+                    scope="batch",
+                    queries=len(rows_list),
+                )
             else:
                 out = np.zeros((len(rows_list), entry.dim))
                 for i, (result, weights) in enumerate(zip(results, weights_list)):
@@ -483,6 +504,7 @@ class SecureEmbeddingStore:
             # Rung 3 short-circuit: the query touches known-bad rows, so
             # the NDP offload would only fail again.  Serve trusted-side.
             obs.inc("recovery.quarantine_hits")
+            obs.emit_event(obs.QUARANTINE_HIT, table=name, rows=rows)
             with obs.span("recovery.fallback"):
                 values, repaired = self._trusted_query(name, rows, weights)
             self.recovery_log.record(
@@ -512,8 +534,14 @@ class SecureEmbeddingStore:
             except VerificationError:
                 detected = True
                 obs.inc("recovery.detections")
+                obs.emit_event(
+                    obs.VERIFY_FAILURE, table=name, rows=rows, attempt=attempt
+                )
                 if attempt < policy.max_retries:
                     obs.inc("recovery.retries")
+                    obs.emit_event(
+                        obs.RECOVERY_RETRY, table=name, rows=rows, attempt=attempt
+                    )
                     policy.sleep(policy.backoff_s(attempt, salt=idx))
                 continue
             self.recovery_log.record(
@@ -530,6 +558,9 @@ class SecureEmbeddingStore:
         # Rungs 2/3: retries exhausted -> trusted non-NDP recompute with
         # per-row verification, repairing rows that are truly corrupted.
         obs.inc("recovery.fallbacks")
+        obs.emit_event(
+            obs.RECOVERY_FALLBACK, table=name, rows=rows, attempts=attempts
+        )
         with obs.span("recovery.fallback"):
             values, repaired = self._trusted_query(name, rows, weights)
         self.recovery_log.record(
@@ -573,12 +604,19 @@ class SecureEmbeddingStore:
         if bad_rows:
             plain = self._plain.get(name)
             if plain is None:
+                obs.emit_event(
+                    obs.RECOVERY_EXHAUSTED,
+                    table=name,
+                    rows=bad_rows,
+                    reason="no retained plaintext",
+                )
                 raise RecoveryExhaustedError(
                     f"rows {bad_rows} of table {name!r} fail verification and "
                     f"no trusted plaintext is retained "
                     f"(RecoveryPolicy.retain_plaintext=False)"
                 )
             obs.inc("recovery.repairs", len(bad_rows))
+            obs.emit_event(obs.RECOVERY_REPAIR, table=name, rows=bad_rows)
             for row in bad_rows:
                 residues[row] = plain[row].copy()
                 repaired.append(row)
@@ -601,6 +639,26 @@ class SecureEmbeddingStore:
     def quarantined_rows(self, name: str) -> Set[int]:
         """Rows of ``name`` currently served trusted-side only."""
         return set(self.recovery_log.quarantined_rows(name))
+
+    def load_quarantine_journal(self, path) -> int:
+        """Reload quarantine/repair state from a JSONL security-event journal.
+
+        ``path`` is a file produced by a previous process's
+        ``obs.enable_events(path)`` sink (or the CLI ``--events PATH``
+        flag).  Replays quarantine / repair / re-encryption events into
+        this store's :class:`RecoveryLog` — a restarted store keeps
+        serving known-bad rows trusted-side instead of re-learning the
+        damage one verification failure at a time.  Replay never
+        re-emits, so loading a journal does not append to it.  Events
+        for tables this store does not hold are ignored.  Returns the
+        number of state-bearing events applied.
+        """
+        events = [
+            event
+            for event in obs.read_events(path)
+            if event.table in self._tables
+        ]
+        return self.recovery_log.replay_events(events)
 
     def reencrypt_table(self, name: str) -> None:
         """Rung 4: re-encrypt a table from trusted plaintext, bumped versions.
@@ -629,6 +687,13 @@ class SecureEmbeddingStore:
         self.device.store(name, enc)
         self.recovery_log.clear_quarantine(name)
         self.recovery_log.note_reencryption(name)
+        obs.emit_event(
+            obs.REENCRYPT,
+            table=name,
+            version=enc.version,
+            retired_version=retired_data,
+            retired_tag_version=retired_tag,
+        )
         if self._tiering is not None:
             # Invalidate prewarmed pads keyed by the retired versions:
             # they can never be served for the new ciphertext (cache keys

@@ -10,7 +10,7 @@ import pytest
 
 from repro import obs
 from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
-from repro.obs.metrics import MetricsRegistry, _TIMER_SAMPLES
+from repro.obs.metrics import MetricsRegistry
 
 
 @pytest.fixture(autouse=True)
@@ -51,13 +51,21 @@ class TestRegistry:
         assert stats["p50_ns"] in (200, 300)
         assert stats["p95_ns"] == 1000
 
-    def test_timer_ring_is_bounded(self):
+    def test_timer_histogram_stays_sparse(self):
+        # Long runs must not grow memory per observation: the histogram
+        # footprint is bounded by the number of distinct log buckets, not
+        # the observation count (the property that replaced the old
+        # 4096-sample ring).
         reg = MetricsRegistry()
-        for i in range(_TIMER_SAMPLES + 500):
+        n = 50_000
+        for i in range(n):
             reg.observe_ns("t", i)
-        stats = reg.snapshot()["timers"]["t"]
-        assert stats["count"] == _TIMER_SAMPLES + 500
-        assert len(reg._timers["t"].samples) == _TIMER_SAMPLES
+        stats = reg.snapshot(include_samples=True)["timers"]["t"]
+        assert stats["count"] == n
+        assert len(stats["buckets"]) < 600  # ~32 buckets per power of two
+        # Percentiles reflect the whole run, not a trailing window.
+        assert stats["p50_ns"] == pytest.approx(n / 2, rel=obs.RELATIVE_ERROR)
+        assert stats["p99_ns"] == pytest.approx(0.99 * n, rel=obs.RELATIVE_ERROR)
 
     def test_snapshot_sorted_and_jsonable(self):
         reg = MetricsRegistry()
@@ -172,6 +180,28 @@ class TestSpans:
         assert len(obs.trace_events()) == 1
         # metrics stayed off, so no timer was recorded
         assert obs.snapshot()["timers"] == {}
+
+    def test_drop_counting_in_tracing_only_mode(self, monkeypatch):
+        # Regression: with tracing on but metrics OFF, buffer-overflow
+        # drops used to vanish (the gated metrics.inc was a no-op).  The
+        # drop tally must survive both in trace_dropped() and in the
+        # registry counter.
+        from repro.obs import tracing
+
+        monkeypatch.setattr(tracing, "MAX_TRACE_EVENTS", 3)
+        obs.enable_tracing()
+        assert not obs.enabled()
+        for _ in range(5):
+            with obs.span("overflow"):
+                pass
+        assert len(obs.trace_events()) == 3
+        assert obs.trace_dropped() == 2
+        assert obs.get_registry().counter("obs.trace.dropped") == 2
+        # Ingested worker events respect the same accounting.
+        obs.ingest_events([{"name": "w"}] * 4)
+        assert obs.trace_dropped() == 6
+        obs.clear_trace()
+        assert obs.trace_dropped() == 0
 
     def test_write_trace(self, tmp_path):
         obs.enable_tracing()
