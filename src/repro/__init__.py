@@ -17,6 +17,8 @@ A from-scratch Python reproduction of the complete SecNDP system:
 * :mod:`repro.analysis` - energy (Table V), area, accuracy (Table IV).
 * :mod:`repro.harness` - per-table / per-figure experiment drivers.
 * :mod:`repro.obs` - metrics registry + phase tracing across all layers.
+* :mod:`repro.kernels` - optional compiled tier (numba JIT / C) for the
+  limb-field and AES hot paths behind ``SECNDP_KERNEL_TIER`` dispatch.
 
 Quickstart::
 

@@ -50,7 +50,7 @@ import sys
 import time
 from typing import Dict
 
-from . import obs
+from . import kernels, obs
 from .errors import ConfigurationError
 from .faults import FaultPlan
 from .harness.chaos import default_chaos_plan, run_chaos
@@ -225,6 +225,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="obs report only: report over a previously saved snapshot "
         "JSON instead of running a serving pass",
     )
+    parser.add_argument(
+        "--kernel-tier",
+        metavar="TIER",
+        default=None,
+        help="kernel tier for the limb-field/AES hot paths: auto "
+        "(default; compiled backend when available, else numpy), native "
+        "(require a compiled backend), numpy, or scalar (bit-exact "
+        "PrimeField oracle); overrides SECNDP_KERNEL_TIER",
+    )
     return parser
 
 
@@ -287,6 +296,7 @@ def _obs_report(args, scale: ExperimentScale, slo_specs) -> int:
         elif own_events:
             obs.enable_events()
         obs.enable()
+        kernels.publish()
         try:
             with obs.span("experiment.obs_report", cat="harness"):
                 run_functional_shadow(
@@ -341,6 +351,14 @@ def main(argv=None) -> int:
     if args.hot_fraction is not None and not 0.0 < args.hot_fraction <= 1.0:
         return _fail(f"--hot-fraction must be in (0, 1], got {args.hot_fraction}")
 
+    # Resolve the kernel tier before any experiment runs: a typo in
+    # --kernel-tier or SECNDP_KERNEL_TIER (or an unsatisfiable 'native'
+    # request) must fail fast, never silently serve from another tier.
+    try:
+        kernels.set_tier(args.kernel_tier)
+    except ConfigurationError as exc:
+        return _fail(str(exc))
+
     slo_specs = []
     if args.slo:
         try:
@@ -368,6 +386,9 @@ def main(argv=None) -> int:
     was_tracing = obs.tracing_enabled()
     if collect:
         obs.enable()
+        # The tier resolved before metrics were enabled; re-publish so
+        # kernel.tier / kernel.jit_warmup_ns appear in the snapshot.
+        kernels.publish()
     if args.trace is not None:
         obs.enable_tracing()
     if args.events is not None:

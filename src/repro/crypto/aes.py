@@ -26,6 +26,8 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from .. import kernels as _kernels
+
 __all__ = [
     "AES128",
     "aes128_encrypt_blocks",
@@ -215,6 +217,11 @@ def aes128_encrypt_blocks(key: bytes, blocks: np.ndarray) -> np.ndarray:
     blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
     if blocks.ndim != 2 or blocks.shape[1] != BLOCK_BYTES:
         raise ValueError(f"blocks must have shape (n, {BLOCK_BYTES})")
+    nat = _kernels.active_native()
+    if nat is not None:
+        out = nat.aes_blocks(bytes(key), blocks)
+        if out is not None:
+            return out
     round_keys = _round_keys_np(bytes(key))
 
     state = blocks ^ round_keys[0]

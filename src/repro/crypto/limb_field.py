@@ -21,6 +21,14 @@ operands.
 Only the paper's default modulus ``q = 2^127 - 1`` is supported;
 callers dispatch via :func:`supports_field` and fall back to the scalar
 oracle for the small test primes.
+
+Tier dispatch: when :mod:`repro.kernels` resolves a compiled backend
+(numba or the C library), :func:`mul`, :func:`fold`, :func:`dot` and
+:func:`horner` hand the sweep to it — bit-identical outputs, another
+order of magnitude of throughput — and fall back to the NumPy kernels
+here for shapes outside the native contract.  Under the ``scalar``
+tier policy :func:`supports_field` reports ``False`` so all callers
+route to the :class:`PrimeField` oracle.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from .. import kernels as _kernels
 from .. import obs
 from .prime_field import MERSENNE_127, PrimeField
 
@@ -75,7 +84,14 @@ _MAX_SUM_TERMS = 1 << 28
 
 
 def supports_field(field: PrimeField) -> bool:
-    """True when ``field`` is the paper's default GF(2^127 - 1)."""
+    """True when ``field`` is the paper's default GF(2^127 - 1).
+
+    The ``scalar`` kernel tier forces this to ``False`` so every
+    dispatch site (checksums, verification dots, batched SLS) routes to
+    the bit-exact :class:`PrimeField` oracle — the audit path.
+    """
+    if _kernels.active_tier() == "scalar":
+        return False
     return field.modulus == MERSENNE_127
 
 
@@ -204,7 +220,13 @@ def fold(values: np.ndarray) -> np.ndarray:
     ``sum_k values[k] * 2^(32k)`` with every column below 2^63.  Mirrors
     :func:`~repro.crypto.prime_field.mersenne_reduce` for bits=127.
     """
-    return _reduce_columns(np.asarray(values, dtype=np.uint64))
+    arr = np.asarray(values, dtype=np.uint64)
+    nat = _kernels.active_native()
+    if nat is not None:
+        out = nat.fold(arr)
+        if out is not None:
+            return out
+    return _reduce_columns(arr)
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +260,11 @@ def mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
+    nat = _kernels.active_native()
+    if nat is not None:
+        out = nat.mul(a, b)
+        if out is not None:
+            return out
     shape = np.broadcast_shapes(a.shape[:-1], b.shape[:-1])
     cols = np.zeros(shape + (2 * NUM_LIMBS,), dtype=np.uint64)
     for i in range(NUM_LIMBS):
@@ -266,6 +293,11 @@ def horner(matrix: np.ndarray, s_limbs: np.ndarray) -> np.ndarray:
     the limb-space mirror of :meth:`PrimeField.checksum_poly`.  ``matrix``
     holds ring residues (< 2^64) as uint64; returns ``(n, 4)`` limbs.
     """
+    nat = _kernels.active_native()
+    if nat is not None:
+        out = nat.horner(np.asarray(matrix, dtype=np.uint64), s_limbs)
+        if out is not None:
+            return out
     m_lo, m_hi = _coeff_halves(matrix)
     n = m_lo.shape[0]
     acc = np.zeros((n, NUM_LIMBS), dtype=np.uint64)
@@ -348,6 +380,18 @@ def dot(coeffs: np.ndarray, weight_limbs: np.ndarray) -> np.ndarray:
     the power weights, and the Alg. 5 tag-side sums (``a x C_T``,
     ``a x E_T``) are dots of ring weights against tag vectors.
     """
+    nat = _kernels.active_native()
+    if nat is not None:
+        c = np.asarray(coeffs, dtype=np.uint64)
+        m = weight_limbs.shape[0]
+        if m != c.shape[-1]:
+            raise ValueError("coefficient and weight lengths differ")
+        if m >= _MAX_SUM_TERMS:
+            raise ValueError("dot length too large for exact uint64 accumulation")
+        out = nat.dot(c, weight_limbs)
+        if out is not None:
+            obs.inc("limb.dot.native")
+            return out
     return _reduce_columns(_dot_columns(coeffs, weight_limbs))
 
 

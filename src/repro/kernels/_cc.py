@@ -1,0 +1,650 @@
+"""C backend for the native kernel tier (host compiler + ctypes).
+
+A single small C translation unit implements the limb-field primitives
+(127-bit Mersenne arithmetic on 64-bit words with ``unsigned __int128``
+intermediates) and a T-table AES-128 block sweep.  It is compiled once
+per source hash with the host C compiler into a content-addressed
+shared library under ``SECNDP_KERNEL_CACHE`` (default
+``~/.cache/secndp-kernels``) and loaded via :mod:`ctypes` — no
+third-party dependency, and spawn-pool workers just ``dlopen`` the
+cached object instead of recompiling.
+
+Importing this module raises :class:`~repro.kernels.NativeUnavailable`
+when no compiler is found, compilation fails, or the compiled library
+fails its load-time self-test (FIPS-197 AES vector plus big-int
+cross-checks of every field kernel) — the tier dispatcher treats that
+exactly like numba being absent and falls back to NumPy.
+
+Every wrapper returns ``None`` for shapes/dtypes outside its fast-path
+contract; the dispatch sites in ``crypto/limb_field.py`` and
+``crypto/aes.py`` then fall through to the NumPy tier, so outputs are
+bit-identical by construction and verified by the property suite.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from functools import lru_cache
+from typing import List, Optional
+
+import numpy as np
+
+from . import ENV_KERNEL_CACHE, NativeUnavailable
+
+NAME = "cc"
+
+_P = (1 << 127) - 1
+_M32 = 0xFFFFFFFF
+_TOP = 0x7FFFFFFF
+
+# ---------------------------------------------------------------------------
+# C source.  Tables are interpolated from the from-scratch AES module so
+# the compiled cipher shares its single source of truth (and its
+# FIPS-197 derivation) with the scalar oracle.  @TOKENS@ are substituted
+# rather than str.format because C is brace-dense.
+# ---------------------------------------------------------------------------
+
+_C_SOURCE_TEMPLATE = r"""
+#include <stdint.h>
+#include <string.h>
+
+typedef unsigned __int128 u128;
+typedef uint64_t u64;
+typedef uint32_t u32;
+typedef uint8_t u8;
+
+#define MASK32 0xFFFFFFFFull
+#define P0 0xFFFFFFFFFFFFFFFFull
+#define P1 0x7FFFFFFFFFFFFFFFull
+
+/* ----- GF(2^127 - 1): shift-add Mersenne folding on 64-bit words ----- */
+
+/* Reduce a 256-bit value w0..w3 (little-endian 64-bit words, requires
+ * w3 < 2^63) into canonical words r0 (low) / r1 (high, < 2^63).
+ * Two folds v -> (v mod 2^127) + (v >> 127), then one conditional
+ * subtract of p; maps v == p to 0 like the NumPy canonicalizer. */
+static inline void red256(u64 w0, u64 w1, u64 w2, u64 w3, u64 *r0, u64 *r1) {
+    u64 lo0 = w0, lo1 = w1 & P1;
+    u64 h0 = (w1 >> 63) | (w2 << 1);
+    u64 h1 = (w2 >> 63) | (w3 << 1);
+    u128 s = (u128)lo0 + h0;
+    u64 s0 = (u64)s;
+    u128 c = (s >> 64) + lo1 + h1;   /* value = s0 + c*2^64, c < 2^65 */
+    u64 hi2 = (u64)(c >> 63);        /* value >> 127, <= 3 */
+    u64 lo2_1 = (u64)c & P1;
+    u128 t = (u128)s0 + hi2;
+    u64 t0 = (u64)t;
+    u64 t1 = lo2_1 + (u64)(t >> 64); /* value now <= p + 4 */
+    if (t1 > P1 || (t1 == P1 && t0 == P0)) {
+        u128 v = ((u128)t1 << 64) | t0;
+        v -= ((u128)P1 << 64) | P0;
+        t0 = (u64)v;
+        t1 = (u64)(v >> 64);
+    }
+    *r0 = t0;
+    *r1 = t1;
+}
+
+/* a * b mod p for canonical 127-bit operands given as 64-bit word
+ * pairs (a1, b1 < 2^63): four partial products recombined into a
+ * 256-bit value (w3 < 2^62), then red256. */
+static inline void mul_red127(u64 a0, u64 a1, u64 b0, u64 b1,
+                              u64 *r0, u64 *r1) {
+    u128 p00 = (u128)a0 * b0;
+    u128 p01 = (u128)a0 * b1;
+    u128 p10 = (u128)a1 * b0;
+    u128 p11 = (u128)a1 * b1;
+    u64 w0 = (u64)p00;
+    u128 mid = (p00 >> 64) + p01 + p10;  /* < 2^128 - 2^65 + 1: exact */
+    u64 w1 = (u64)mid;
+    u128 hi = (mid >> 64) + p11;
+    u64 w2 = (u64)hi;
+    u64 w3 = (u64)(hi >> 64);
+    red256(w0, w1, w2, w3, r0, r1);
+}
+
+/* Canonicalize up to eight 32-bit limbs (value < 2^256, top word of
+ * the packed 256-bit form < 2^63) into four canonical output limbs. */
+static inline void limbs8_canon(const u64 *l, u64 *out) {
+    u64 w0 = l[0] | (l[1] << 32);
+    u64 w1 = l[2] | (l[3] << 32);
+    u64 w2 = l[4] | (l[5] << 32);
+    u64 w3 = l[6] | (l[7] << 32);
+    u64 r0, r1;
+    red256(w0, w1, w2, w3, &r0, &r1);
+    out[0] = r0 & MASK32;
+    out[1] = r0 >> 32;
+    out[2] = r1 & MASK32;
+    out[3] = r1 >> 32;
+}
+
+/* Canonicalize four u128 accumulator columns (limb k weighted by
+ * 2^(32k), each column < 2^124 so the total is < 2^221). */
+static inline void cols4_canon(u128 a0, u128 a1, u128 a2, u128 a3,
+                               u64 *out) {
+    u128 cols[4];
+    u64 l[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    u128 carry = 0;
+    int i;
+    cols[0] = a0; cols[1] = a1; cols[2] = a2; cols[3] = a3;
+    for (i = 0; i < 4; i++) {
+        carry += cols[i];
+        l[i] = (u64)carry & MASK32;
+        carry >>= 32;
+    }
+    for (; i < 8 && carry; i++) {
+        l[i] = (u64)carry & MASK32;
+        carry >>= 32;
+    }
+    limbs8_canon(l, out);
+}
+
+/* dot: coeffs are uint64 ring residues, wl is (m, 4) canonical limb
+ * rows and wt the same weights transposed to four contiguous u32
+ * columns.  An OR-scan bounds the coefficient magnitude (vectorizable,
+ * and an upper bound is all the path choice needs — both paths are
+ * exact): when bound * (2^32-1) * m < 2^64 whole products accumulate
+ * in u64 lanes as vectorizable 32x32 multiplies, otherwise coeff *
+ * limb < 2^96 with m < 2^28 keeps u128 column accumulators exact
+ * (< 2^124). */
+void secndp_dot(const u64 *coeffs, long long n, long long m,
+                const u64 *wl, const u32 *wt, u64 *out) {
+    long long total = n * m, i, j;
+    u64 orv = 0;
+    for (i = 0; i < total; i++)
+        orv |= coeffs[i];
+    if ((u128)orv * MASK32 * (u128)m < ((u128)1 << 64)) {
+        const u32 *w0 = wt, *w1 = wt + m, *w2 = wt + 2 * m, *w3 = wt + 3 * m;
+        for (i = 0; i < n; i++) {
+            const u64 *c = coeffs + i * m;
+            u64 a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+            for (j = 0; j < m; j++) {
+                u64 cj = (u32)c[j];
+                a0 += cj * w0[j];
+                a1 += cj * w1[j];
+                a2 += cj * w2[j];
+                a3 += cj * w3[j];
+            }
+            cols4_canon((u128)a0, (u128)a1, (u128)a2, (u128)a3, out + 4 * i);
+        }
+        return;
+    }
+    for (i = 0; i < n; i++) {
+        const u64 *c = coeffs + i * m;
+        u128 a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+        for (j = 0; j < m; j++) {
+            u128 cj = c[j];
+            const u64 *w = wl + 4 * j;
+            a0 += cj * w[0];
+            a1 += cj * w[1];
+            a2 += cj * w[2];
+            a3 += cj * w[3];
+        }
+        cols4_canon(a0, a1, a2, a3, out + 4 * i);
+    }
+}
+
+/* Elementwise (or scalar-broadcast) canonical-limb multiply. */
+void secndp_mul(const u64 *a, const u64 *b, long long n, int b_scalar,
+                u64 *out) {
+    u64 sb0 = 0, sb1 = 0;
+    long long i;
+    if (b_scalar) {
+        sb0 = b[0] | (b[1] << 32);
+        sb1 = b[2] | (b[3] << 32);
+    }
+    for (i = 0; i < n; i++) {
+        const u64 *ai = a + 4 * i;
+        u64 a0 = ai[0] | (ai[1] << 32), a1 = ai[2] | (ai[3] << 32);
+        u64 b0, b1, r0, r1;
+        u64 *o = out + 4 * i;
+        if (b_scalar) {
+            b0 = sb0;
+            b1 = sb1;
+        } else {
+            const u64 *bi = b + 4 * i;
+            b0 = bi[0] | (bi[1] << 32);
+            b1 = bi[2] | (bi[3] << 32);
+        }
+        mul_red127(a0, a1, b0, b1, &r0, &r1);
+        o[0] = r0 & MASK32;
+        o[1] = r0 >> 32;
+        o[2] = r1 & MASK32;
+        o[3] = r1 >> 32;
+    }
+}
+
+/* Reduce unnormalized limb columns (k <= 6, each column < 2^63, so the
+ * packed value stays < 2^224) to canonical limbs. */
+void secndp_fold(const u64 *cols, long long n, int k, u64 *out) {
+    long long i;
+    int j;
+    for (i = 0; i < n; i++) {
+        const u64 *c = cols + i * k;
+        u64 l[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        u128 carry = 0;
+        for (j = 0; j < k; j++) {
+            carry += c[j];
+            l[j] = (u64)carry & MASK32;
+            carry >>= 32;
+        }
+        for (; j < 8 && carry; j++) {
+            l[j] = (u64)carry & MASK32;
+            carry >>= 32;
+        }
+        limbs8_canon(l, out + 4 * i);
+    }
+}
+
+/* Row-wise Horner: acc = acc * s + M[i, j] mod p, canonical per step
+ * (bit-identical to the NumPy tier, which also reduces per column). */
+void secndp_horner(const u64 *matrix, long long n, long long m,
+                   u64 s0, u64 s1, u64 *out) {
+    long long i, j;
+    for (i = 0; i < n; i++) {
+        const u64 *row = matrix + i * m;
+        u64 acc0 = 0, acc1 = 0;
+        u64 *o = out + 4 * i;
+        for (j = 0; j < m; j++) {
+            u64 r0, r1, v0, v1;
+            u128 t;
+            mul_red127(acc0, acc1, s0, s1, &r0, &r1);
+            t = (u128)r0 + row[j];
+            v0 = (u64)t;
+            v1 = r1 + (u64)(t >> 64);   /* <= 2^63: one subtract settles */
+            if (v1 > P1 || (v1 == P1 && v0 == P0)) {
+                u128 v = ((u128)v1 << 64) | v0;
+                v -= ((u128)P1 << 64) | P0;
+                v0 = (u64)v;
+                v1 = (u64)(v >> 64);
+            }
+            acc0 = v0;
+            acc1 = v1;
+        }
+        o[0] = acc0 & MASK32;
+        o[1] = acc0 >> 32;
+        o[2] = acc1 & MASK32;
+        o[3] = acc1 >> 32;
+    }
+}
+
+/* ----- AES-128 (FIPS-197), T-table formulation ----- */
+
+static const u8 AES_SBOX[256] = { @SBOX@ };
+static const u8 AES_MUL2[256] = { @MUL2@ };
+static const u8 AES_MUL3[256] = { @MUL3@ };
+static const u8 AES_SHIFT[16] = { @SHIFT@ };
+
+/* T-tables fold SubBytes + MixColumns into four 32-bit lookups per
+ * column; built once from the byte tables above.  Words are assembled
+ * byte-wise, so the only endianness assumption is the little-endian
+ * memcpy between the u32 column words and the byte state below —
+ * covered by the load-time FIPS vector self-test. */
+static u32 T0[256], T1[256], T2[256], T3[256];
+static int t_ready = 0;
+
+static void build_tables(void) {
+    int x;
+    for (x = 0; x < 256; x++) {
+        u32 s = AES_SBOX[x], s2 = AES_MUL2[s], s3 = AES_MUL3[s];
+        T0[x] = s2 | (s << 8) | (s << 16) | (s3 << 24);
+        T1[x] = s3 | (s2 << 8) | (s << 16) | (s << 24);
+        T2[x] = s | (s3 << 8) | (s2 << 16) | (s << 24);
+        T3[x] = s | (s << 8) | (s3 << 16) | (s2 << 24);
+    }
+    t_ready = 1;
+}
+
+/* Encrypt n 16-byte blocks under pre-expanded round keys (176 bytes). */
+void secndp_aes128_blocks(const u8 *rk, const u8 *in, long long n,
+                          u8 *out) {
+    u32 rk32[44];
+    long long b;
+    int r, c, i;
+    if (!t_ready)
+        build_tables();
+    memcpy(rk32, rk, 176);
+    for (b = 0; b < n; b++) {
+        const u8 *x = in + 16 * b;
+        u8 *o = out + 16 * b;
+        u8 s[16];
+        u32 w[4];
+        for (i = 0; i < 16; i++)
+            s[i] = x[i] ^ rk[i];
+        for (r = 1; r < 10; r++) {
+            for (c = 0; c < 4; c++)
+                w[c] = T0[s[AES_SHIFT[4 * c]]]
+                     ^ T1[s[AES_SHIFT[4 * c + 1]]]
+                     ^ T2[s[AES_SHIFT[4 * c + 2]]]
+                     ^ T3[s[AES_SHIFT[4 * c + 3]]]
+                     ^ rk32[4 * r + c];
+            memcpy(s, w, 16);
+        }
+        for (i = 0; i < 16; i++)
+            o[i] = AES_SBOX[s[AES_SHIFT[i]]] ^ rk[160 + i];
+    }
+}
+"""
+
+
+def _render_source() -> str:
+    from ..crypto import aes as _aes
+
+    def fmt(seq) -> str:
+        return ", ".join(str(int(v)) for v in seq)
+
+    return (
+        _C_SOURCE_TEMPLATE.replace("@SBOX@", fmt(_aes.SBOX))
+        .replace("@MUL2@", fmt(_aes._MUL2))
+        .replace("@MUL3@", fmt(_aes._MUL3))
+        .replace("@SHIFT@", fmt(_aes._SHIFT_ROWS_PERM))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Build and load.
+# ---------------------------------------------------------------------------
+
+
+def _cache_dir() -> str:
+    override = os.environ.get(ENV_KERNEL_CACHE, "").strip()
+    candidates = [override] if override else []
+    candidates.append(os.path.join(os.path.expanduser("~"), ".cache", "secndp-kernels"))
+    candidates.append(os.path.join(tempfile.gettempdir(), "secndp-kernels"))
+    for path in candidates:
+        try:
+            os.makedirs(path, exist_ok=True)
+            return path
+        except OSError:
+            continue
+    raise NativeUnavailable("no writable kernel cache directory")
+
+
+def _find_compiler() -> str:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    raise NativeUnavailable("no C compiler found (set CC or install gcc/clang)")
+
+
+def _build() -> str:
+    """Compile (or reuse) the shared library; returns its path.
+
+    The filename is content-addressed by the rendered source, so any
+    kernel change compiles to a fresh object and stale caches are
+    simply never hit.  The compile lands under a temp name and is
+    os.replace'd in, which keeps concurrent spawn-pool workers safe:
+    they either see the finished .so or compile their own and race
+    benignly on the rename.
+    """
+    source = _render_source()
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"secndp_{digest}.so")
+    if os.path.exists(so_path):
+        return so_path
+    cc = _find_compiler()
+    c_path = os.path.join(cache, f"secndp_{digest}.c")
+    fd, tmp_c = tempfile.mkstemp(suffix=".c", dir=cache)
+    with os.fdopen(fd, "w") as fh:
+        fh.write(source)
+    os.replace(tmp_c, c_path)
+    tmp_so = os.path.join(cache, f".build_{digest}_{os.getpid()}.so")
+    last_err = ""
+    # -march=native unlocks vectorized 32x32 multiplies for the small
+    # dot path but is not universally accepted; plain -O3 is the retry.
+    for extra in (["-march=native"], []):
+        cmd = [cc, "-O3", "-fPIC", "-shared", *extra, "-o", tmp_so, c_path]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            last_err = str(exc)
+            continue
+        if proc.returncode == 0:
+            os.replace(tmp_so, so_path)
+            return so_path
+        last_err = (proc.stderr or proc.stdout or "").strip()[-500:]
+    if os.path.exists(tmp_so):
+        try:
+            os.remove(tmp_so)
+        except OSError:
+            pass
+    raise NativeUnavailable(f"kernel compile failed with {cc}: {last_err}")
+
+
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+_U32P = ctypes.POINTER(ctypes.c_uint32)
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+_LL = ctypes.c_longlong
+
+
+def _load() -> ctypes.CDLL:
+    try:
+        lib = ctypes.CDLL(_build())
+    except OSError as exc:
+        raise NativeUnavailable(f"kernel library failed to load: {exc}") from exc
+    lib.secndp_dot.argtypes = [_U64P, _LL, _LL, _U64P, _U32P, _U64P]
+    lib.secndp_dot.restype = None
+    lib.secndp_mul.argtypes = [_U64P, _U64P, _LL, ctypes.c_int, _U64P]
+    lib.secndp_mul.restype = None
+    lib.secndp_fold.argtypes = [_U64P, _LL, ctypes.c_int, _U64P]
+    lib.secndp_fold.restype = None
+    lib.secndp_horner.argtypes = [_U64P, _LL, _LL, ctypes.c_uint64, ctypes.c_uint64, _U64P]
+    lib.secndp_horner.restype = None
+    lib.secndp_aes128_blocks.argtypes = [_U8P, _U8P, _LL, _U8P]
+    lib.secndp_aes128_blocks.restype = None
+    return lib
+
+
+def _u64p(arr: np.ndarray):
+    return arr.ctypes.data_as(_U64P)
+
+
+def _u32p(arr: np.ndarray):
+    return arr.ctypes.data_as(_U32P)
+
+
+def _u8p(arr: np.ndarray):
+    return arr.ctypes.data_as(_U8P)
+
+
+# ---------------------------------------------------------------------------
+# Wrappers.  Each returns None outside its contract so the dispatch
+# sites fall through to the NumPy tier.
+# ---------------------------------------------------------------------------
+
+
+def _canonical_limbs(arr: np.ndarray) -> bool:
+    """Limb-bound check so 64-bit word packing is value-faithful."""
+    if arr.size == 0:
+        return True
+    return bool(
+        int(arr[..., :3].max()) <= _M32 and int(arr[..., 3].max()) <= _TOP
+    )
+
+
+def dot(coeffs: np.ndarray, weight_limbs: np.ndarray) -> Optional[np.ndarray]:
+    """``sum_j coeffs[..., j] * W[j] mod q`` -> canonical ``(..., 4)`` limbs."""
+    c = np.ascontiguousarray(coeffs, dtype=np.uint64)
+    w = np.ascontiguousarray(weight_limbs, dtype=np.uint64)
+    if w.ndim != 2 or w.shape[1] != 4 or c.shape[-1] != w.shape[0]:
+        return None
+    m = w.shape[0]
+    flat = c.reshape(-1, m)
+    n = flat.shape[0]
+    out = np.empty((n, 4), dtype=np.uint64)
+    if n == 0 or m == 0:
+        out[:] = 0
+    else:
+        # Transposed u32 weight columns for the vectorized small path;
+        # (m, 4) -> (4, m) is tiny next to the (n, m) sweep.
+        wt = np.ascontiguousarray(w.T & np.uint64(_M32), dtype=np.uint32)
+        _lib.secndp_dot(_u64p(flat), n, m, _u64p(w), _u32p(wt), _u64p(out))
+    return out.reshape(c.shape[:-1] + (4,))
+
+
+def mul(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+    """Elementwise / scalar-broadcast canonical-limb product."""
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b = np.ascontiguousarray(b, dtype=np.uint64)
+    if a.shape[-1:] != (4,) or b.shape[-1:] != (4,):
+        return None
+    if not (_canonical_limbs(a) and _canonical_limbs(b)):
+        return None
+    if b.ndim == 1:
+        shape, flat, other, b_scalar = a.shape, a.reshape(-1, 4), b, 1
+    elif a.ndim == 1:
+        # Commutative: broadcast a over b instead.
+        shape, flat, other, b_scalar = b.shape, b.reshape(-1, 4), a, 1
+    elif a.shape == b.shape:
+        shape, flat, other, b_scalar = a.shape, a.reshape(-1, 4), b.reshape(-1, 4), 0
+    else:
+        return None
+    out = np.empty_like(flat)
+    if flat.shape[0]:
+        _lib.secndp_mul(_u64p(flat), _u64p(other), flat.shape[0], b_scalar, _u64p(out))
+    return out.reshape(shape)
+
+
+def fold(values: np.ndarray) -> Optional[np.ndarray]:
+    """Reduce ``(..., K)`` columns (2 <= K <= 6, columns < 2^63) to limbs."""
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    if v.ndim == 0 or not 2 <= v.shape[-1] <= 6:
+        return None
+    k = v.shape[-1]
+    flat = v.reshape(-1, k)
+    out = np.empty((flat.shape[0], 4), dtype=np.uint64)
+    if flat.shape[0]:
+        _lib.secndp_fold(_u64p(flat), flat.shape[0], k, _u64p(out))
+    return out.reshape(v.shape[:-1] + (4,))
+
+
+def horner(matrix: np.ndarray, s_limbs: np.ndarray) -> Optional[np.ndarray]:
+    """Row-wise Horner sweep for a single canonical evaluation point."""
+    m_arr = np.ascontiguousarray(matrix, dtype=np.uint64)
+    s = np.ascontiguousarray(s_limbs, dtype=np.uint64)
+    if m_arr.ndim != 2 or s.shape != (4,) or not _canonical_limbs(s):
+        return None
+    n, m = m_arr.shape
+    s0 = int(s[0]) | (int(s[1]) << 32)
+    s1 = int(s[2]) | (int(s[3]) << 32)
+    out = np.zeros((n, 4), dtype=np.uint64)
+    if n and m:
+        _lib.secndp_horner(_u64p(m_arr), n, m, s0, s1, _u64p(out))
+    return out
+
+
+@lru_cache(maxsize=64)
+def _round_key_bytes(key: bytes) -> np.ndarray:
+    from ..crypto.aes import _expand_key
+
+    return np.frombuffer(b"".join(_expand_key(key)), dtype=np.uint8)
+
+
+def aes_blocks(key: bytes, blocks: np.ndarray) -> Optional[np.ndarray]:
+    """Encrypt validated ``(n, 16)`` uint8 blocks under an AES-128 key."""
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        return None
+    rk = _round_key_bytes(bytes(key))
+    out = np.empty_like(blocks)
+    if blocks.shape[0]:
+        _lib.secndp_aes128_blocks(
+            _u8p(rk), _u8p(blocks), blocks.shape[0], _u8p(out)
+        )
+    return out
+
+
+def warmup() -> None:
+    """Touch every kernel once on tiny inputs (builds the AES T-tables)."""
+    w = np.array([[3, 0, 0, 0], [5, 0, 0, 0]], dtype=np.uint64)
+    dot(np.array([[1, 2]], dtype=np.uint64), w)
+    dot(np.array([[1 << 40, 2]], dtype=np.uint64), w)
+    a = np.array([[9, 0, 0, 0]], dtype=np.uint64)
+    mul(a, np.array([7, 0, 0, 0], dtype=np.uint64))
+    fold(np.array([[1, 2, 3, 4, 5]], dtype=np.uint64))
+    horner(np.array([[1, 2, 3]], dtype=np.uint64), np.array([2, 0, 0, 0], dtype=np.uint64))
+    aes_blocks(bytes(16), np.zeros((1, 16), dtype=np.uint8))
+
+
+# ---------------------------------------------------------------------------
+# Load-time self-test: big-int cross-checks of every field kernel plus
+# the FIPS-197 Appendix B vector.  Any mismatch (including an
+# endianness surprise in the T-table memcpy) raises NativeUnavailable
+# so dispatch falls back to the NumPy tier instead of serving wrong
+# bits.
+# ---------------------------------------------------------------------------
+
+
+def _limbs_of(values: List[int]) -> np.ndarray:
+    out = np.zeros((len(values), 4), dtype=np.uint64)
+    for i, v in enumerate(values):
+        v %= _P
+        for k in range(4):
+            out[i, k] = (v >> (32 * k)) & _M32
+    return out
+
+
+def _ints_of(limbs: np.ndarray) -> List[int]:
+    arr = np.asarray(limbs, dtype=np.uint64).reshape(-1, 4)
+    return [
+        int(r[0]) | (int(r[1]) << 32) | (int(r[2]) << 64) | (int(r[3]) << 96)
+        for r in arr
+    ]
+
+
+def _self_test() -> None:
+    ws = [3, _P - 1, (1 << 100) + 17, 5]
+    wl = _limbs_of(ws)
+    coeffs = np.array(
+        [[1, (1 << 64) - 1, 12345, (1 << 63) - 7], [9, 8, 7, 6], [0, 0, 0, 0]],
+        dtype=np.uint64,
+    )
+    got = _ints_of(dot(coeffs, wl))
+    want = [sum(int(c) * w for c, w in zip(row, ws)) % _P for row in coeffs]
+    if got != want:
+        raise NativeUnavailable("self-test failed: dot (general path)")
+    small = np.array([[250, 3, 0, 199]], dtype=np.uint64)
+    got = _ints_of(dot(small, wl))
+    want = [sum(int(c) * w for c, w in zip(small[0], ws)) % _P]
+    if got != want:
+        raise NativeUnavailable("self-test failed: dot (small path)")
+
+    av, bv = [_P - 2, 123, _P], [(1 << 126) + 3, _P - 1, 7]
+    got = _ints_of(mul(_limbs_of(av), _limbs_of(bv)))
+    if got != [(x % _P) * (y % _P) % _P for x, y in zip(av, bv)]:
+        raise NativeUnavailable("self-test failed: mul")
+
+    cols = [1 << 62, 3, 0, (1 << 62) + 5, 11]
+    got = _ints_of(fold(np.array([cols], dtype=np.uint64)))
+    if got != [sum(c << (32 * k) for k, c in enumerate(cols)) % _P]:
+        raise NativeUnavailable("self-test failed: fold")
+
+    s = (1 << 101) + 9
+    hm = np.array([[5, (1 << 64) - 1, 7], [0, 1, 2]], dtype=np.uint64)
+    got = _ints_of(horner(hm, _limbs_of([s])[0]))
+    want = []
+    for row in hm:
+        acc = 0
+        for v in row:
+            acc = (acc * s + int(v)) % _P
+        want.append(acc)
+    if got != want:
+        raise NativeUnavailable("self-test failed: horner")
+
+    key = bytes(range(16))
+    pt = np.frombuffer(bytes.fromhex("00112233445566778899aabbccddeeff"), dtype=np.uint8)
+    ct = aes_blocks(key, pt.reshape(1, 16))
+    if ct.tobytes().hex() != "69c4e0d86a7b0430d8cdb78070b4c55a":
+        raise NativeUnavailable("self-test failed: AES-128 FIPS-197 vector")
+
+
+_lib = _load()
+_self_test()

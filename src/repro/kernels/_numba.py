@@ -1,0 +1,346 @@
+"""numba backend for the native kernel tier (nopython + parallel).
+
+Installed via the ``native`` extra (``pip install repro[native]``); the
+import raises :class:`ImportError` when numba is absent and the probe
+falls through to the C backend, then to the NumPy tier.
+
+The kernels transliterate the NumPy tier's limb algorithm — 32-bit
+limbs in uint64 lanes, carry-normalize, shift-add Mersenne folds,
+``q -> 0`` canonicalization — into per-element ``@njit`` loops with
+``prange`` across rows.  numba has no 128-bit integers, so products
+stay split into 32-bit halves exactly as the vectorized tier does;
+outputs are bit-identical by construction and pinned by the property
+suite.  ``cache=True`` persists compiled dispatchers on disk, so only
+the first process on a machine pays the JIT; everyone else (including
+spawn-pool workers) loads from cache during :func:`warmup`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+from numba import njit, prange, uint64
+
+NAME = "numba"
+
+_M32 = np.uint64(0xFFFFFFFF)
+_TOP = np.uint64(0x7FFFFFFF)
+_U1 = np.uint64(1)
+_U31 = np.uint64(31)
+_U32 = np.uint64(32)
+_U0 = np.uint64(0)
+
+_JIT = dict(cache=True, nogil=True)
+
+
+@njit(**_JIT)
+def _canon_into(cols, k, out, o):  # pragma: no cover - numba-compiled
+    """Canonicalize ``sum_i cols[i] * 2^(32i)`` (columns < 2^63) into
+    ``out[o:o+4]``; the scalar mirror of ``_reduce_columns``."""
+    l = np.zeros(14, dtype=uint64)
+    carry = _U0
+    for i in range(k):
+        t = cols[i] + carry
+        l[i] = t & _M32
+        carry = t >> _U32
+    l[k] = carry & _M32
+    l[k + 1] = carry >> _U32
+    n = k + 2
+    while True:
+        while n > 4 and l[n - 1] == _U0:
+            n -= 1
+        if n <= 4 and l[3] <= _TOP:
+            break
+        t0, t1, t2 = l[0], l[1], l[2]
+        t3 = l[3] & _TOP
+        nh = n - 3
+        if nh < 1:
+            nh = 1
+        hi = np.zeros(12, dtype=uint64)
+        for kk in range(nh):
+            h = _U0
+            if 3 + kk < n:
+                h |= l[3 + kk] >> _U31
+            if 4 + kk < n:
+                h |= (l[4 + kk] << _U1) & _M32
+            hi[kk] = h
+        width = 4 if nh < 4 else nh
+        carry = _U0
+        for kk in range(width):
+            v = carry
+            if kk == 0:
+                v += t0
+            elif kk == 1:
+                v += t1
+            elif kk == 2:
+                v += t2
+            elif kk == 3:
+                v += t3
+            if kk < nh:
+                v += hi[kk]
+            l[kk] = v & _M32
+            carry = v >> _U32
+        l[width] = carry & _M32
+        l[width + 1] = carry >> _U32
+        for kk in range(width + 2, 14):
+            l[kk] = _U0
+        n = width + 2
+    if l[0] == _M32 and l[1] == _M32 and l[2] == _M32 and l[3] == _TOP:
+        out[o] = _U0
+        out[o + 1] = _U0
+        out[o + 2] = _U0
+        out[o + 3] = _U0
+    else:
+        out[o] = l[0]
+        out[o + 1] = l[1]
+        out[o + 2] = l[2]
+        out[o + 3] = l[3]
+
+
+@njit(parallel=True, **_JIT)
+def _dot_kernel(coeffs, wl, small, out):  # pragma: no cover
+    n, m = coeffs.shape
+    for i in prange(n):
+        cols = np.zeros(10, dtype=uint64)
+        if small:
+            for j in range(m):
+                c = coeffs[i, j]
+                cols[0] += c * wl[j, 0]
+                cols[1] += c * wl[j, 1]
+                cols[2] += c * wl[j, 2]
+                cols[3] += c * wl[j, 3]
+            _canon_into(cols, 4, out, 4 * i)
+        else:
+            for j in range(m):
+                c_lo = coeffs[i, j] & _M32
+                c_hi = coeffs[i, j] >> _U32
+                for k in range(4):
+                    p = c_lo * wl[j, k]
+                    cols[k] += p & _M32
+                    cols[k + 1] += p >> _U32
+                    p = c_hi * wl[j, k]
+                    cols[k + 1] += p & _M32
+                    cols[k + 2] += p >> _U32
+            _canon_into(cols, 7, out, 4 * i)
+
+
+@njit(parallel=True, **_JIT)
+def _mul_kernel(a, b, b_scalar, out):  # pragma: no cover
+    n = a.shape[0]
+    for i in prange(n):
+        cols = np.zeros(10, dtype=uint64)
+        bi = 0 if b_scalar else i
+        for x in range(4):
+            ax = a[i, x]
+            for y in range(4):
+                p = ax * b[bi, y]
+                cols[x + y] += p & _M32
+                cols[x + y + 1] += p >> _U32
+        _canon_into(cols, 8, out, 4 * i)
+
+
+@njit(parallel=True, **_JIT)
+def _fold_kernel(cols_in, out):  # pragma: no cover
+    n, k = cols_in.shape
+    for i in prange(n):
+        cols = np.zeros(12, dtype=uint64)
+        for j in range(k):
+            cols[j] = cols_in[i, j]
+        _canon_into(cols, k, out, 4 * i)
+
+
+@njit(parallel=True, **_JIT)
+def _horner_kernel(matrix, s, out):  # pragma: no cover
+    n, m = matrix.shape
+    for i in prange(n):
+        acc = np.zeros(4, dtype=uint64)
+        cols = np.zeros(10, dtype=uint64)
+        for j in range(m):
+            for kk in range(10):
+                cols[kk] = _U0
+            for x in range(4):
+                ax = acc[x]
+                for y in range(4):
+                    p = ax * s[y]
+                    cols[x + y] += p & _M32
+                    cols[x + y + 1] += p >> _U32
+            cols[0] += matrix[i, j] & _M32
+            cols[1] += matrix[i, j] >> _U32
+            _canon_into(cols, 8, acc, 0)
+        out[4 * i] = acc[0]
+        out[4 * i + 1] = acc[1]
+        out[4 * i + 2] = acc[2]
+        out[4 * i + 3] = acc[3]
+
+
+@njit(parallel=True, **_JIT)
+def _aes_kernel(rk, sbox, mul2, mul3, shift, blocks, out):  # pragma: no cover
+    n = blocks.shape[0]
+    for b in prange(n):
+        s = np.empty(16, dtype=np.uint8)
+        t = np.empty(16, dtype=np.uint8)
+        for i in range(16):
+            s[i] = blocks[b, i] ^ rk[i]
+        for r in range(1, 10):
+            for i in range(16):
+                t[i] = sbox[s[shift[i]]]
+            for c in range(4):
+                a0, a1, a2, a3 = t[4 * c], t[4 * c + 1], t[4 * c + 2], t[4 * c + 3]
+                k = rk[16 * r + 4 * c :]
+                s[4 * c + 0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3 ^ k[0]
+                s[4 * c + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3 ^ k[1]
+                s[4 * c + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3] ^ k[2]
+                s[4 * c + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3] ^ k[3]
+        for i in range(16):
+            out[b, i] = sbox[s[shift[i]]] ^ rk[160 + i]
+
+
+# ---------------------------------------------------------------------------
+# Wrappers (same contract as the C backend: None -> NumPy fallback).
+# ---------------------------------------------------------------------------
+
+_M32_INT = 0xFFFFFFFF
+_TOP_INT = 0x7FFFFFFF
+
+
+def _canonical_limbs(arr: np.ndarray) -> bool:
+    if arr.size == 0:
+        return True
+    return bool(
+        int(arr[..., :3].max()) <= _M32_INT and int(arr[..., 3].max()) <= _TOP_INT
+    )
+
+
+def dot(coeffs: np.ndarray, weight_limbs: np.ndarray) -> Optional[np.ndarray]:
+    c = np.ascontiguousarray(coeffs, dtype=np.uint64)
+    w = np.ascontiguousarray(weight_limbs, dtype=np.uint64)
+    if w.ndim != 2 or w.shape[1] != 4 or c.shape[-1] != w.shape[0]:
+        return None
+    m = w.shape[0]
+    flat = c.reshape(-1, m)
+    out = np.empty((flat.shape[0], 4), dtype=np.uint64)
+    if flat.shape[0] == 0 or m == 0:
+        out[:] = 0
+    else:
+        small = int(flat.max()) * _M32_INT * m < (1 << 64)
+        _dot_kernel(flat, w, small, out.reshape(-1))
+    return out.reshape(c.shape[:-1] + (4,))
+
+
+def mul(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+    a = np.ascontiguousarray(a, dtype=np.uint64)
+    b = np.ascontiguousarray(b, dtype=np.uint64)
+    if a.shape[-1:] != (4,) or b.shape[-1:] != (4,):
+        return None
+    if not (_canonical_limbs(a) and _canonical_limbs(b)):
+        return None
+    if b.ndim == 1:
+        shape, flat, other, b_scalar = a.shape, a.reshape(-1, 4), b.reshape(1, 4), 1
+    elif a.ndim == 1:
+        shape, flat, other, b_scalar = b.shape, b.reshape(-1, 4), a.reshape(1, 4), 1
+    elif a.shape == b.shape:
+        shape, flat, other, b_scalar = a.shape, a.reshape(-1, 4), b.reshape(-1, 4), 0
+    else:
+        return None
+    out = np.empty_like(flat)
+    if flat.shape[0]:
+        _mul_kernel(flat, other, b_scalar, out.reshape(-1))
+    return out.reshape(shape)
+
+
+def fold(values: np.ndarray) -> Optional[np.ndarray]:
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    if v.ndim == 0 or not 2 <= v.shape[-1] <= 10:
+        return None
+    flat = v.reshape(-1, v.shape[-1])
+    out = np.empty((flat.shape[0], 4), dtype=np.uint64)
+    if flat.shape[0]:
+        _fold_kernel(flat, out.reshape(-1))
+    return out.reshape(v.shape[:-1] + (4,))
+
+
+def horner(matrix: np.ndarray, s_limbs: np.ndarray) -> Optional[np.ndarray]:
+    m_arr = np.ascontiguousarray(matrix, dtype=np.uint64)
+    s = np.ascontiguousarray(s_limbs, dtype=np.uint64)
+    if m_arr.ndim != 2 or s.shape != (4,) or not _canonical_limbs(s):
+        return None
+    out = np.zeros((m_arr.shape[0], 4), dtype=np.uint64)
+    if m_arr.shape[0] and m_arr.shape[1]:
+        _horner_kernel(m_arr, s, out.reshape(-1))
+    return out
+
+
+@lru_cache(maxsize=64)
+def _round_key_bytes(key: bytes) -> np.ndarray:
+    from ..crypto.aes import _expand_key
+
+    return np.frombuffer(b"".join(_expand_key(key)), dtype=np.uint8)
+
+
+@lru_cache(maxsize=1)
+def _aes_tables() -> tuple:
+    from ..crypto import aes as _aes
+
+    return (
+        np.frombuffer(_aes.SBOX, dtype=np.uint8),
+        np.frombuffer(_aes._MUL2, dtype=np.uint8),
+        np.frombuffer(_aes._MUL3, dtype=np.uint8),
+        np.array(_aes._SHIFT_ROWS_PERM, dtype=np.uint8),
+    )
+
+
+def aes_blocks(key: bytes, blocks: np.ndarray) -> Optional[np.ndarray]:
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 2 or blocks.shape[1] != 16:
+        return None
+    sbox, mul2, mul3, shift = _aes_tables()
+    out = np.empty_like(blocks)
+    if blocks.shape[0]:
+        _aes_kernel(_round_key_bytes(bytes(key)), sbox, mul2, mul3, shift, blocks, out)
+    return out
+
+
+def warmup() -> None:
+    """Compile (or load from numba's disk cache) every dispatcher."""
+    w = np.array([[3, 0, 0, 0], [5, 0, 0, 0]], dtype=np.uint64)
+    dot(np.array([[1, 2]], dtype=np.uint64), w)
+    dot(np.array([[1 << 40, 2]], dtype=np.uint64), w)
+    a = np.array([[9, 0, 0, 0]], dtype=np.uint64)
+    mul(a, np.array([7, 0, 0, 0], dtype=np.uint64))
+    fold(np.array([[1, 2, 3, 4, 5]], dtype=np.uint64))
+    horner(
+        np.array([[1, 2, 3]], dtype=np.uint64),
+        np.array([2, 0, 0, 0], dtype=np.uint64),
+    )
+    aes_blocks(bytes(16), np.zeros((1, 16), dtype=np.uint8))
+
+
+# Load-time sanity: one known answer per kernel family, so a broken
+# numba install degrades to the next backend instead of serving wrong
+# bits.  (The full property suite cross-checks all three tiers.)
+def _self_test() -> None:
+    from . import NativeUnavailable
+
+    p = (1 << 127) - 1
+    ws = [7, p - 1]
+    w = np.zeros((2, 4), dtype=np.uint64)
+    for i, v in enumerate(ws):
+        for k in range(4):
+            w[i, k] = (v >> (32 * k)) & _M32_INT
+    c = np.array([[(1 << 64) - 1, 3]], dtype=np.uint64)
+    got = dot(c, w)
+    want = (int(c[0, 0]) * ws[0] + int(c[0, 1]) * ws[1]) % p
+    got_int = int(got[0, 0]) | int(got[0, 1]) << 32 | int(got[0, 2]) << 64 | int(got[0, 3]) << 96
+    if got_int != want:
+        raise NativeUnavailable("numba self-test failed: dot")
+    key = bytes(range(16))
+    pt = np.frombuffer(
+        bytes.fromhex("00112233445566778899aabbccddeeff"), dtype=np.uint8
+    ).reshape(1, 16)
+    if aes_blocks(key, pt).tobytes().hex() != "69c4e0d86a7b0430d8cdb78070b4c55a":
+        raise NativeUnavailable("numba self-test failed: AES-128 FIPS vector")
+
+
+_self_test()

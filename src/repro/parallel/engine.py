@@ -46,12 +46,12 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import kernels, obs
 from ..core.checksum import MultiPointChecksum
 from ..core.encryption import EncryptedMatrix
 from ..core.protocol import PartialSumShare, SecNDPProcessor, UntrustedNdpDevice
 from ..crypto.otp import OtpCacheInfo, merge_cache_info
-from ..errors import VerificationError
+from ..errors import ConfigurationError, VerificationError
 from .pmap import POOL_START_TIMEOUT, resolve_workers
 from .shm import (
     ArraySpec,
@@ -142,6 +142,9 @@ class _PoolSpec(NamedTuple):
     tag_cache_rows: int = 0
     #: skew-derived row-pad LRU capacity (0 keeps row caching off)
     row_cache_rows: int = 0
+    #: resolved kernel tier broadcast to workers ("" keeps worker-side
+    #: auto resolution); workers warm kernels at spawn, never per task
+    kernel_tier: str = ""
 
 
 # -- worker side ---------------------------------------------------------------
@@ -156,6 +159,16 @@ def _engine_worker_init(spec: _PoolSpec, counter) -> None:
         wid = counter.value
         counter.value += 1
     obs.set_worker_label(wid)
+    # Pin this worker to the parent's resolved kernel tier and pay any
+    # one-time JIT/dlopen cost here, at spawn — tasks must never re-JIT.
+    # A tier the worker cannot satisfy (e.g. the parent compiled native
+    # kernels but this host's cache is gone and compilation now fails)
+    # degrades to auto rather than killing the pool.
+    try:
+        kernels.set_tier(spec.kernel_tier or None)
+    except ConfigurationError:
+        kernels.set_tier("auto")
+    kernels.warmup()
     processor = SecNDPProcessor(
         spec.key, spec.params, multipoint_checksum=spec.multipoint
     )
@@ -379,6 +392,7 @@ class ParallelSlsEngine:
             cache_blocks=cache_blocks,
             tag_cache_rows=tag_cache_rows,
             row_cache_rows=row_cache_rows,
+            kernel_tier=kernels.active_tier(),
         )
         ctx = mp.get_context("spawn")
         counter = ctx.Value("i", 0)

@@ -1,0 +1,431 @@
+"""Kernel-tier tests: policy, degradation, and cross-tier bit-identity.
+
+The contract under test (DESIGN.md Sec. 14): the scalar
+:class:`PrimeField` is the bit-exact oracle, the NumPy limb kernels the
+always-available tier, and the compiled backends (numba / C) an
+optional accelerator that must be bit-identical to both.  Policy errors
+must fail fast with the allowed values; an absent backend must degrade
+to NumPy with exactly one counter bump and zero warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels, obs
+from repro.cli import main as cli_main
+from repro.crypto import limb_field as lf
+from repro.crypto.aes import AES128, aes128_encrypt_blocks
+from repro.crypto.prime_field import MERSENNE_127, PrimeField
+from repro.errors import ConfigurationError
+
+P = MERSENNE_127
+FIELD = PrimeField(P)
+
+NATIVE = kernels.native_available()
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason="no compiled kernel backend on this host"
+)
+try:  # pragma: no cover - exercised on the with-numba CI leg
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:
+    HAVE_NUMBA = False
+
+
+@pytest.fixture(autouse=True)
+def _clean_tier_state(monkeypatch):
+    """Leave no tier policy behind: every test starts from env default."""
+    monkeypatch.delenv(kernels.ENV_KERNEL_TIER, raising=False)
+    kernels._reset_for_tests()
+    yield
+    kernels._reset_for_tests()
+
+
+def _ints(limbs):
+    out = lf.from_limbs(limbs)
+    return out if isinstance(out, list) else [out]
+
+
+# ---------------------------------------------------------------------------
+# Policy validation (satellite: fail fast, never silently fall back).
+# ---------------------------------------------------------------------------
+
+
+class TestTierPolicy:
+    def test_default_is_auto(self):
+        assert kernels.policy() == "auto"
+        assert kernels.active_tier() in ("native", "numpy")
+
+    @pytest.mark.parametrize("tier", kernels.TIERS)
+    def test_all_documented_tiers_accepted(self, tier):
+        if tier == "native" and not NATIVE:
+            with pytest.raises(ConfigurationError):
+                kernels.set_tier(tier)
+        else:
+            kernels.set_tier(tier)
+            assert kernels.policy() == tier
+
+    def test_value_normalization(self):
+        assert kernels.resolve_policy("  NumPy ") == "numpy"
+        assert kernels.resolve_policy("") == "auto"
+
+    @pytest.mark.parametrize("bad", ["bogus", "numba", "gpu", "0", "native!"])
+    def test_invalid_value_raises_with_allowed_values(self, bad):
+        with pytest.raises(ConfigurationError) as exc:
+            kernels.set_tier(bad)
+        msg = str(exc.value)
+        assert bad in msg
+        for tier in kernels.TIERS:
+            assert tier in msg
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_KERNEL_TIER, "warp-speed")
+        kernels._reset_for_tests()
+        with pytest.raises(ConfigurationError) as exc:
+            kernels.active_tier()
+        assert kernels.ENV_KERNEL_TIER in str(exc.value)
+
+    def test_env_value_resolves(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_KERNEL_TIER, "numpy")
+        kernels._reset_for_tests()
+        assert kernels.active_tier() == "numpy"
+        assert kernels.active_native() is None
+
+    def test_use_tier_restores(self):
+        before = kernels.active_tier()
+        with kernels.use_tier("numpy") as tier:
+            assert tier == "numpy"
+            assert kernels.active_native() is None
+        assert kernels.active_tier() == before
+
+    def test_cli_flag_rejected_with_exit_2(self, capsys):
+        assert cli_main(["table3", "--kernel-tier", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "--kernel-tier" in err
+        for tier in kernels.TIERS:
+            assert tier in err
+
+    def test_cli_env_rejected_with_exit_2(self, monkeypatch, capsys):
+        monkeypatch.setenv(kernels.ENV_KERNEL_TIER, "nope")
+        kernels._reset_for_tests()
+        assert cli_main(["table3", "--scale", "smoke"]) == 2
+        assert kernels.ENV_KERNEL_TIER in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation (satellite: single counter bump, no warning spam).
+# ---------------------------------------------------------------------------
+
+
+class TestDegradation:
+    def test_absent_backend_degrades_to_numpy_with_one_counter_bump(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            kernels, "_BACKEND_MODULES", ("_definitely_not_a_backend",)
+        )
+        kernels._reset_for_tests()
+        obs.reset()
+        obs.enable()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert kernels.set_tier("auto") == "numpy"
+                # Repeated resolution must not re-probe or re-count.
+                assert kernels.active_tier() == "numpy"
+                assert not kernels.native_available()
+                assert kernels.backend_name() is None
+            counters = obs.snapshot()["counters"]
+            assert counters.get("kernel.native_unavailable") == 1
+            assert "not_a_backend" in kernels.unavailable_reason()
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_native_forced_but_unavailable_raises(self, monkeypatch):
+        monkeypatch.setattr(
+            kernels, "_BACKEND_MODULES", ("_definitely_not_a_backend",)
+        )
+        kernels._reset_for_tests()
+        with pytest.raises(ConfigurationError) as exc:
+            kernels.set_tier("native")
+        msg = str(exc.value)
+        assert "native" in msg and "numpy" in msg
+
+    def test_numpy_and_scalar_never_probe(self, monkeypatch):
+        monkeypatch.setattr(
+            kernels, "_BACKEND_MODULES", ("_definitely_not_a_backend",)
+        )
+        kernels._reset_for_tests()
+        obs.reset()
+        obs.enable()
+        try:
+            kernels.set_tier("numpy")
+            kernels.set_tier("scalar")
+            assert "kernel.native_unavailable" not in obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# Warmup and telemetry.
+# ---------------------------------------------------------------------------
+
+
+class TestWarmup:
+    def test_warmup_publishes_gauges(self):
+        obs.reset()
+        obs.enable()
+        try:
+            ns = kernels.warmup()
+            assert ns >= 0 and kernels.last_warmup_ns() == ns
+            gauges = obs.snapshot()["gauges"]
+            assert gauges["kernel.jit_warmup_ns"] == ns
+            assert gauges["kernel.tier"] == kernels.tier_code()
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_warmup_disabled_obs_is_silent(self):
+        obs.reset()
+        assert not obs.enabled()
+        assert kernels.warmup() >= 0
+        assert obs.snapshot()["gauges"] == {}
+
+    def test_tier_codes_are_stable(self):
+        assert kernels.tier_code("scalar") == 0
+        assert kernels.tier_code("numpy") == 1
+        assert kernels.tier_code("native") == 2
+
+
+# ---------------------------------------------------------------------------
+# Scalar tier: every dispatch site must route to the PrimeField oracle.
+# ---------------------------------------------------------------------------
+
+
+class TestScalarTier:
+    def test_supports_field_gated_off(self):
+        kernels.set_tier("scalar")
+        assert not lf.supports_field(FIELD)
+        kernels.set_tier("numpy")
+        assert lf.supports_field(FIELD)
+
+    def test_field_dot_falls_back_to_oracle(self):
+        ws = [3, 2**40, 7]
+        vs = [P - 1, 5, 2**100]
+        want = FIELD.dot(ws, vs)
+        kernels.set_tier("scalar")
+        assert lf.field_dot(FIELD, ws, vs) == want
+        kernels.set_tier("numpy")
+        assert lf.field_dot(FIELD, ws, vs) == want
+
+
+# ---------------------------------------------------------------------------
+# Cross-tier bit-identity: scalar oracle vs NumPy vs native.
+# ---------------------------------------------------------------------------
+
+field_elements = st.integers(min_value=0, max_value=P - 1)
+ring_residues = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def _both_tiers(fn):
+    """Run fn under the numpy and native tiers; return both results."""
+    with kernels.use_tier("numpy"):
+        a = fn()
+    with kernels.use_tier("native"):
+        b = fn()
+    return a, b
+
+
+@needs_native
+class TestCrossTierBitIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(field_elements, min_size=1, max_size=8), field_elements)
+    def test_mul(self, values, scalar):
+        a = lf.to_limbs(values)
+        b = lf.to_limbs(scalar)
+        np_res, nat_res = _both_tiers(lambda: lf.mul(a, b))
+        np.testing.assert_array_equal(np_res, nat_res)
+        assert _ints(nat_res) == [FIELD.mul(v, scalar) for v in values]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << 63) - 1),
+                min_size=2,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=6,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+    )
+    def test_fold(self, rows):
+        cols = np.array(rows, dtype=np.uint64)
+        np_res, nat_res = _both_tiers(lambda: lf.fold(cols))
+        np.testing.assert_array_equal(np_res, nat_res)
+        assert _ints(nat_res) == [
+            sum(v << (32 * k) for k, v in enumerate(row)) % P for row in rows
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=9),
+        st.sampled_from([255, (1 << 32) - 1, (1 << 64) - 1]),
+        st.integers(min_value=0),
+    )
+    def test_dot(self, n, m, c_max, seed):
+        rng = np.random.default_rng(seed % 2**32)
+        coeffs = rng.integers(0, c_max, size=(n, m), dtype=np.uint64, endpoint=True)
+        w_ints = [int(x) for x in rng.integers(0, 2**63, size=m)]
+        w_ints = [(w << 64 | w) % P for w in w_ints]  # exercise high limbs
+        wl = lf.to_limbs(w_ints)
+        np_res, nat_res = _both_tiers(lambda: lf.dot(coeffs, wl))
+        np.testing.assert_array_equal(np_res, nat_res)
+        assert _ints(nat_res) == [
+            sum(int(c) * w for c, w in zip(row, w_ints)) % P for row in coeffs
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+        field_elements,
+        st.integers(min_value=0),
+    )
+    def test_horner_sweep(self, n, m, s, seed):
+        rng = np.random.default_rng(seed % 2**32)
+        matrix = rng.integers(0, 2**64, size=(n, m), dtype=np.uint64)
+        sl = lf.to_limbs(s)
+        np_res, nat_res = _both_tiers(lambda: lf.horner(matrix, sl))
+        np.testing.assert_array_equal(np_res, nat_res)
+        want = []
+        for row in matrix:
+            acc = 0
+            for v in row:
+                acc = (acc * s + int(v)) % P
+            want.append(acc)
+        assert _ints(nat_res) == want
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.integers(min_value=0))
+    def test_aes_blocks(self, key, seed):
+        rng = np.random.default_rng(seed % 2**32)
+        blocks = rng.integers(0, 256, size=(9, 16), dtype=np.uint8)
+        np_res, nat_res = _both_tiers(lambda: aes128_encrypt_blocks(key, blocks))
+        np.testing.assert_array_equal(np_res, nat_res)
+        oracle = AES128(key)
+        assert nat_res[3].tobytes() == oracle.encrypt_block(blocks[3].tobytes())
+
+    def test_aes_fips_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        pt = np.frombuffer(
+            bytes.fromhex("00112233445566778899aabbccddeeff"), dtype=np.uint8
+        ).reshape(1, 16)
+        with kernels.use_tier("native"):
+            ct = aes128_encrypt_blocks(key, pt)
+        assert ct.tobytes().hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_weighted_row_tags_and_checksum_paths(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 2**32, size=(50, 12), dtype=np.uint64)
+        weights = lf.power_weights(FIELD, 123456789, 12)
+
+        def tags():
+            return lf.weighted_row_tags(matrix, weights)
+
+        np_res, nat_res = _both_tiers(tags)
+        assert np_res == nat_res
+
+    def test_native_tier_counts_dots(self):
+        obs.reset()
+        obs.enable()
+        try:
+            with kernels.use_tier("native"):
+                lf.dot(
+                    np.ones((3, 4), dtype=np.uint64), lf.to_limbs([1, 2, 3, 4])
+                )
+            assert obs.snapshot()["counters"].get("limb.dot.native", 0) >= 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaBackend:  # pragma: no cover - with-numba CI leg only
+    def test_numba_backend_loads_and_matches(self):
+        from repro.kernels import _numba
+
+        rng = np.random.default_rng(3)
+        coeffs = rng.integers(0, 2**64, size=(8, 5), dtype=np.uint64)
+        wl = lf.to_limbs([int(x) % P for x in rng.integers(0, 2**63, size=5)])
+        with kernels.use_tier("numpy"):
+            want = lf.dot(coeffs, wl)
+        np.testing.assert_array_equal(_numba.dot(coeffs, wl), want)
+        blocks = rng.integers(0, 256, size=(4, 16), dtype=np.uint8)
+        with kernels.use_tier("numpy"):
+            want = aes128_encrypt_blocks(bytes(range(16)), blocks)
+        np.testing.assert_array_equal(
+            _numba.aes_blocks(bytes(range(16)), blocks), want
+        )
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the serving stack is bit-identical across tiers, including
+# a ParallelSlsEngine pool with the native tier broadcast to workers.
+# ---------------------------------------------------------------------------
+
+
+def _build_store(seed=0):
+    from repro.core.params import SecNDPParams
+    from repro.core.protocol import SecNDPProcessor, UntrustedNdpDevice
+    from repro.workloads import SecureEmbeddingStore
+
+    params = SecNDPParams(element_bits=32)
+    processor = SecNDPProcessor(bytes(range(16)), params)
+    device = UntrustedNdpDevice(params)
+    store = SecureEmbeddingStore(processor, device, verify=True)
+    rng = np.random.default_rng(seed)
+    store.add_table("emb", rng.normal(0, 1, size=(48, 8)))
+    return store
+
+
+class TestEndToEndTiers:
+    def test_store_results_identical_across_tiers(self):
+        rng = np.random.default_rng(11)
+        batch = [[int(r) for r in rng.integers(0, 48, size=6)] for _ in range(4)]
+        results = {}
+        tiers = ["scalar", "numpy"] + (["native"] if NATIVE else [])
+        for tier in tiers:
+            kernels.set_tier(tier)
+            results[tier] = _build_store().sls_many("emb", batch)
+        for tier in tiers[1:]:
+            np.testing.assert_array_equal(results[tiers[0]], results[tier])
+
+    @needs_native
+    def test_parallel_engine_native_bit_identity(self):
+        from repro.parallel import ParallelSlsEngine
+        from repro.parallel.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("shared memory unavailable")
+        rng = np.random.default_rng(13)
+        batch = [[int(r) for r in rng.integers(0, 48, size=7)] for _ in range(5)]
+        with kernels.use_tier("numpy"):
+            expected = _build_store().sls_many("emb", batch)
+        kernels.set_tier("native")
+        store = _build_store()
+        with ParallelSlsEngine(store, workers=2) as engine:
+            if engine.workers == 0:
+                pytest.skip("pool fell back to in-process serving")
+            got = engine.sls_many("emb", batch)
+        np.testing.assert_array_equal(expected, got)
