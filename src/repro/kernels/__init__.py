@@ -220,8 +220,8 @@ def use_tier(value: str):
     """
     global _policy, _active
     saved = (_policy, _active)
-    set_tier(value)
     try:
+        set_tier(value)
         yield active_tier()
     finally:
         _policy, _active = saved

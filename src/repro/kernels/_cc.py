@@ -148,17 +148,18 @@ static inline void cols4_canon(u128 a0, u128 a1, u128 a2, u128 a3,
  * rows and wt the same weights transposed to four contiguous u32
  * columns.  An OR-scan bounds the coefficient magnitude (vectorizable,
  * and an upper bound is all the path choice needs — both paths are
- * exact): when bound * (2^32-1) * m < 2^64 whole products accumulate
- * in u64 lanes as vectorizable 32x32 multiplies, otherwise coeff *
- * limb < 2^96 with m < 2^28 keeps u128 column accumulators exact
- * (< 2^124). */
+ * exact): when every coefficient fits in u32 (the (u32) cast below is
+ * value-preserving) and bound * (2^32-1) * m < 2^64 whole products
+ * accumulate in u64 lanes as vectorizable 32x32 multiplies, otherwise
+ * coeff * limb < 2^96 with m < 2^28 keeps u128 column accumulators
+ * exact (< 2^124). */
 void secndp_dot(const u64 *coeffs, long long n, long long m,
                 const u64 *wl, const u32 *wt, u64 *out) {
     long long total = n * m, i, j;
     u64 orv = 0;
     for (i = 0; i < total; i++)
         orv |= coeffs[i];
-    if ((u128)orv * MASK32 * (u128)m < ((u128)1 << 64)) {
+    if (orv <= MASK32 && (u128)orv * MASK32 * (u128)m < ((u128)1 << 64)) {
         const u32 *w0 = wt, *w1 = wt + m, *w2 = wt + 2 * m, *w3 = wt + 3 * m;
         for (i = 0; i < n; i++) {
             const u64 *c = coeffs + i * m;
@@ -475,6 +476,8 @@ def dot(coeffs: np.ndarray, weight_limbs: np.ndarray) -> Optional[np.ndarray]:
     c = np.ascontiguousarray(coeffs, dtype=np.uint64)
     w = np.ascontiguousarray(weight_limbs, dtype=np.uint64)
     if w.ndim != 2 or w.shape[1] != 4 or c.shape[-1] != w.shape[0]:
+        return None
+    if not _canonical_limbs(w):
         return None
     m = w.shape[0]
     flat = c.reshape(-1, m)

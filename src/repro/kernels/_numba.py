@@ -218,13 +218,17 @@ def dot(coeffs: np.ndarray, weight_limbs: np.ndarray) -> Optional[np.ndarray]:
     w = np.ascontiguousarray(weight_limbs, dtype=np.uint64)
     if w.ndim != 2 or w.shape[1] != 4 or c.shape[-1] != w.shape[0]:
         return None
+    if not _canonical_limbs(w):
+        return None
     m = w.shape[0]
     flat = c.reshape(-1, m)
     out = np.empty((flat.shape[0], 4), dtype=np.uint64)
     if flat.shape[0] == 0 or m == 0:
         out[:] = 0
     else:
-        small = int(flat.max()) * _M32_INT * m < (1 << 64)
+        # 2^63, not 2^64: _canon_into's carry-normalize adds columns in
+        # wrapping u64, so column sums must honor its < 2^63 contract.
+        small = int(flat.max()) * _M32_INT * m < (1 << 63)
         _dot_kernel(flat, w, small, out.reshape(-1))
     return out.reshape(c.shape[:-1] + (4,))
 

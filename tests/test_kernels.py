@@ -159,6 +159,20 @@ class TestDegradation:
         msg = str(exc.value)
         assert "native" in msg and "numpy" in msg
 
+    def test_use_tier_restores_when_set_tier_raises(self, monkeypatch):
+        # Regression: a failing use_tier("native") must not leave the
+        # process pinned to the unsatisfiable policy.
+        monkeypatch.setattr(
+            kernels, "_BACKEND_MODULES", ("_definitely_not_a_backend",)
+        )
+        kernels._reset_for_tests()
+        before = kernels.set_tier("numpy")
+        with pytest.raises(ConfigurationError):
+            with kernels.use_tier("native"):
+                pytest.fail("body must not run")
+        assert kernels.active_tier() == before
+        assert kernels.policy() == "numpy"
+
     def test_numpy_and_scalar_never_probe(self, monkeypatch):
         monkeypatch.setattr(
             kernels, "_BACKEND_MODULES", ("_definitely_not_a_backend",)
@@ -295,6 +309,20 @@ class TestCrossTierBitIdentity:
             sum(int(c) * w for c, w in zip(row, w_ints)) % P for row in coeffs
         ]
 
+    def test_dot_small_path_boundary(self):
+        # Regression: m=1 coefficients at/just above 2^32 sit exactly in
+        # the small-path selection window.  The C backend's u32 cast used
+        # to truncate 2^32 -> 0, and the numba backend's wrapping-u64
+        # carry-normalize could overflow on column sums >= 2^63; both
+        # must now route these to an exact path.
+        for w in (1, 3, P - 1):
+            wl = lf.to_limbs([w])
+            for c in ((1 << 32) - 1, 1 << 32, (1 << 32) + 1, (1 << 33) - 1):
+                coeffs = np.array([[c]], dtype=np.uint64)
+                np_res, nat_res = _both_tiers(lambda: lf.dot(coeffs, wl))
+                np.testing.assert_array_equal(np_res, nat_res)
+                assert _ints(nat_res) == [(c * w) % P]
+
     @settings(max_examples=20, deadline=None)
     @given(
         st.integers(min_value=1, max_value=4),
@@ -377,6 +405,17 @@ class TestNumbaBackend:  # pragma: no cover - with-numba CI leg only
         np.testing.assert_array_equal(
             _numba.aes_blocks(bytes(range(16)), blocks), want
         )
+
+    def test_numba_dot_small_path_carry_boundary(self):
+        # Regression: m=1, coeff=2^32+1, weight=p-1 used to select the
+        # small path with column sums up to 2^64-1, overflowing
+        # _canon_into's wrapping-u64 carry-normalize (contract: < 2^63).
+        from repro.kernels import _numba
+
+        c = (1 << 32) + 1
+        wl = lf.to_limbs([P - 1])
+        got = _numba.dot(np.array([[c]], dtype=np.uint64), wl)
+        assert _ints(got) == [(c * (P - 1)) % P]
 
 
 # ---------------------------------------------------------------------------
