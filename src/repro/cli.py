@@ -226,6 +226,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "JSON instead of running a serving pass",
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve only: bind address (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve only: TCP port (default: 0 = ephemeral, printed on start)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="serve/bench-serve: coalescing cap per executed batch "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="serve/bench-serve: pending-request cap before admission "
+        "control sheds load (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=5000.0,
+        metavar="US",
+        help="serve/bench-serve: upper bound on the adaptive batch window "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--serve-slo",
+        default=None,
+        metavar="SPEC",
+        help="serve/bench-serve: latency objective driving admission "
+        "control (default: 'serve.latency.p99 < 50ms @ 5%%')",
+    )
+    parser.add_argument(
+        "--save-metrics",
+        metavar="PATH",
+        default=None,
+        help="bench-serve: write the metrics snapshot JSON to PATH "
+        "(replayable via 'repro obs report --metrics PATH')",
+    )
+    parser.add_argument(
         "--kernel-tier",
         metavar="TIER",
         default=None,
@@ -324,6 +373,168 @@ def _obs_report(args, scale: ExperimentScale, slo_specs) -> int:
     return 1 if any(not s.met for s in statuses) else 0
 
 
+def _admission_config(args):
+    """Build the serve/bench-serve admission config from CLI flags."""
+    from .serve import DEFAULT_SERVE_SLO, AdmissionConfig
+
+    return AdmissionConfig(
+        slo=args.serve_slo or DEFAULT_SERVE_SLO,
+        max_queue=args.max_queue,
+        max_wait_us=args.max_wait_us,
+    )
+
+
+def _serve_cmd(args, scale: ExperimentScale) -> int:
+    """``repro serve``: demo store behind the TCP front-end until SIGINT."""
+    import asyncio
+
+    from .parallel import ParallelSlsEngine
+    from .serve import SlsServer
+    from .serve.bench import SIZES, _build_store
+
+    workers = args.workers if args.workers is not None else 0
+    if workers < 0:
+        return _fail(f"--workers must be >= 0, got {workers}")
+    sizes = SIZES.get(scale.name, SIZES["default"])
+    print(
+        f"building demo store ({sizes['n_rows']} x {sizes['dim']}, "
+        f"scale={scale.name}, workers={workers}) ..."
+    )
+    store = _build_store(sizes["n_rows"], sizes["dim"], seed=11)
+    engine = ParallelSlsEngine(store, workers=workers) if workers > 0 else None
+
+    async def run():
+        try:
+            server = SlsServer(
+                store,
+                engine=engine,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                admission=_admission_config(args),
+            )
+            await server.start()
+            print(
+                f"serving table 'emb' on {server.host}:{server.port} "
+                f"(max_batch={args.max_batch}, max_queue={args.max_queue}); "
+                f"Ctrl-C drains and exits"
+            )
+            await server.serve_forever()
+            stats = server.stats()
+            print(
+                f"drained: {int(stats['requests'])} requests, "
+                f"{int(stats['batches'])} batches, "
+                f"{int(stats['admission.shed'])} shed"
+            )
+        finally:
+            if engine is not None:
+                engine.close()
+
+    try:
+        asyncio.run(run())
+    except ConfigurationError as exc:
+        return _fail(str(exc))
+    return 0
+
+
+def _bench_serve_cmd(args, scale: ExperimentScale, slo_specs) -> int:
+    """``repro bench-serve``: QPS legs + overload + TCP smoke at a scale."""
+    from .parallel import resolve_workers
+    from .serve.bench import (
+        SIZES,
+        run_overload_scenario,
+        run_serve_bench,
+        run_tcp_smoke,
+    )
+
+    workers = resolve_workers(args.workers)
+    sizes = SIZES.get(scale.name, SIZES["default"])
+    collect = (
+        args.stats
+        or args.slo is not None
+        or args.prom is not None
+        or args.save_metrics is not None
+    )
+    was_enabled = obs.enabled()
+    own_events = obs.event_log() is None
+    if collect:
+        obs.enable()
+        kernels.publish()
+        if args.events is not None:
+            obs.enable_events(args.events)
+        elif own_events:
+            obs.enable_events()
+    slo_failed = False
+    print(f"== bench-serve (scale={scale.name}, workers={workers}) ==")
+    started = time.time()
+    try:
+        report = run_serve_bench(
+            sizes["n_rows"],
+            sizes["dim"],
+            sizes["n_queries"],
+            tuple(sizes["pf_range"]),
+            max_batch=args.max_batch,
+        )
+        print(
+            f"throughput: sequential {report['sequential_qps']:.0f} qps, "
+            f"coalesced {report['coalesced_qps']:.0f} qps -> "
+            f"{report['qps_speedup']:.2f}x ({report['batches']} batches, "
+            f"fill {report['mean_batch_fill']:.1f}, "
+            f"dedupe {report['dedupe_ratio']:.2f}, bit-identical)"
+        )
+        overload = run_overload_scenario(max_queue=min(8, args.max_queue))
+        print(
+            f"overload: burst {overload['burst']} -> {overload['served_ok']} "
+            f"served, {overload['overloaded']} overloaded (typed), burn "
+            f"{overload['burn_rate']:.2f}, p99 within SLO: "
+            f"{overload['p99_within_slo']}"
+        )
+        tcp = run_tcp_smoke(workers=workers)
+        print(
+            f"tcp smoke: {tcp['queries']} queries / {tcp['clients']} clients "
+            f"/ {tcp['workers']} workers -> {tcp['qps']:.0f} qps "
+            f"({tcp['batches']} batches, bit-identical)"
+        )
+        print(f"[bench-serve finished in {time.time() - started:.1f}s]")
+        if args.json:
+            bundle = {
+                "scale": scale.name,
+                "throughput": report,
+                "overload": overload,
+                "tcp": tcp,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(bundle, fh, indent=2, sort_keys=True)
+            print(f"results written to {args.json}")
+        if args.stats:
+            print("== metrics ==")
+            print(obs.format_snapshot(obs.snapshot()))
+        if collect:
+            snap = obs.snapshot(include_samples=True)
+            log = obs.event_log()
+            event_counts = log.counts_by_kind() if log is not None else None
+            if args.save_metrics is not None:
+                with open(args.save_metrics, "w", encoding="utf-8") as fh:
+                    json.dump(snap, fh)
+                print(f"metrics snapshot written to {args.save_metrics}")
+            if args.slo is not None:
+                statuses = obs.SloTracker(slo_specs).evaluate(snap)
+                slo_failed = _print_slo(statuses)
+            if args.prom is not None:
+                _write_prometheus(args.prom, snap, event_counts)
+    finally:
+        if collect:
+            if not was_enabled:
+                obs.disable()
+            if args.events is not None or own_events:
+                obs.disable_events()
+    if not report["bit_identical"] or not tcp["bit_identical"]:
+        return _fail("serving results diverged from direct sls")
+    if overload["overloaded"] <= 0 or not overload["p99_within_slo"]:
+        return _fail("admission control did not shed within SLO under overload")
+    return 1 if slo_failed else 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -332,16 +543,21 @@ def main(argv=None) -> int:
             print(f"  {name:8s} {description}")
         print("  chaos    evaluation workload under fault injection + recovery")
         print("  obs      telemetry commands (obs report)")
+        print("  serve    TCP serving front-end with batching + admission control")
+        print("  bench-serve  serving throughput: sequential vs coalesced QPS")
         return 0
 
     if args.experiment not in EXPERIMENTS and args.experiment not in (
         "all",
         "chaos",
         "obs",
+        "serve",
+        "bench-serve",
     ):
         return _fail(
             f"unknown experiment {args.experiment!r} "
-            f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, chaos, obs, list)"
+            f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, chaos, obs, "
+            f"serve, bench-serve, list)"
         )
     if args.scale not in _SCALES:
         return _fail(
@@ -375,6 +591,10 @@ def main(argv=None) -> int:
         return _fail(f"unexpected argument {args.action!r}")
     if args.metrics is not None:
         return _fail("--metrics only applies to 'obs report'")
+    if args.experiment == "serve":
+        return _serve_cmd(args, _SCALES[args.scale])
+    if args.experiment == "bench-serve":
+        return _bench_serve_cmd(args, _SCALES[args.scale], slo_specs)
 
     collect = (
         args.stats

@@ -9,6 +9,8 @@ __all__ = [
     "VersionBudgetError",
     "ConfigurationError",
     "RecoveryExhaustedError",
+    "OverloadedError",
+    "ServerClosedError",
 ]
 
 
@@ -53,6 +55,26 @@ class ConfigurationError(SecNDPError, ValueError):
     historically raised bare, so callers that catch ``ValueError`` keep
     working while new callers can catch the :class:`SecNDPError`
     hierarchy.
+    """
+
+
+class OverloadedError(SecNDPError):
+    """The serving front-end shed this request (admission control).
+
+    Raised client-side when a query receives a typed ``overloaded``
+    response: the scheduler's pending queue is at capacity or the
+    SLO-burn admission gate is rejecting new work (DESIGN.md Sec. 15).
+    The request was never admitted, so retrying after backoff is safe.
+    """
+
+
+class ServerClosedError(SecNDPError):
+    """The serving front-end is draining or closed.
+
+    Raised client-side for a typed ``shutting_down`` response (the
+    server accepted the connection but is completing in-flight batches
+    and rejecting new work) or when the connection drops before a
+    response arrives.
     """
 
 

@@ -41,6 +41,9 @@ from .events import (
     RECOVERY_REPAIR,
     RECOVERY_RETRY,
     REENCRYPT,
+    SERVE_DRAIN,
+    SERVE_OVERLOAD,
+    SERVE_START,
     STALE_ARENA,
     TASK_FAILURE,
     VERIFY_FAILURE,
@@ -144,6 +147,9 @@ __all__ = [
     "POOL_DEGRADE",
     "STALE_ARENA",
     "TASK_FAILURE",
+    "SERVE_START",
+    "SERVE_DRAIN",
+    "SERVE_OVERLOAD",
     # slo + export
     "SloSpec",
     "SloStatus",

@@ -64,6 +64,9 @@ __all__ = [
     "POOL_DEGRADE",
     "STALE_ARENA",
     "TASK_FAILURE",
+    "SERVE_START",
+    "SERVE_DRAIN",
+    "SERVE_OVERLOAD",
     "EVENT_KINDS",
 ]
 
@@ -84,6 +87,9 @@ POOL_RESPAWN = "pool_respawn"              #: parallel pool torn down + rebuilt
 POOL_DEGRADE = "pool_degrade"              #: engine gave up on the pool for good
 STALE_ARENA = "stale_arena"                #: shared arena behind the live version
 TASK_FAILURE = "task_failure"              #: worker crash/hang/raise failed a dispatch
+SERVE_START = "serve_start"                #: serving front-end began accepting
+SERVE_DRAIN = "serve_drain"                #: serving front-end drained and stopped
+SERVE_OVERLOAD = "serve_overload"          #: admission gate entered/left shedding
 
 EVENT_KINDS = (
     VERIFY_FAILURE,
@@ -99,6 +105,9 @@ EVENT_KINDS = (
     POOL_DEGRADE,
     STALE_ARENA,
     TASK_FAILURE,
+    SERVE_START,
+    SERVE_DRAIN,
+    SERVE_OVERLOAD,
 )
 
 

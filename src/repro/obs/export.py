@@ -73,11 +73,28 @@ def to_prometheus(
     """
     lines: List[str] = []
 
+    # ``serve.response.<status>`` counters collapse into one labeled
+    # family so dashboards can sum/rate over statuses without knowing
+    # the status vocabulary up front.
+    responses: Dict[str, int] = {}
     for name, value in snap.get("counters", {}).items():
+        if name.startswith("serve.response."):
+            responses[name[len("serve.response."):]] = int(value)
+            continue
         metric = f"{prefix}_{_sanitize(name)}_total"
         lines.append(f"# HELP {metric} Counter {name} from the repro.obs registry.")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {int(value)}")
+
+    if responses:
+        metric = f"{prefix}_serve_responses_total"
+        lines.append(
+            f"# HELP {metric} Serving front-end responses by status "
+            f"(serve.response.* counters)."
+        )
+        lines.append(f"# TYPE {metric} counter")
+        for status, count in sorted(responses.items()):
+            lines.append(f'{metric}{{status="{_sanitize(status)}"}} {count}')
 
     for name, value in snap.get("gauges", {}).items():
         metric = f"{prefix}_{_sanitize(name)}"

@@ -80,6 +80,18 @@ RATIO_ALIASES: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
         ("chaos.exposed",),
         ("chaos.queries",),
     ),
+    # Serving front-end: requests shed by admission control (queue cap
+    # or SLO burn) per arriving request.
+    "serve.shed_rate": (
+        ("serve.shed",),
+        ("serve.requests",),
+    ),
+    # Serving front-end: admitted requests that resolved to a typed
+    # error (verification failure, exhausted recovery) per arrival.
+    "serve.error_rate": (
+        ("serve.errors",),
+        ("serve.requests",),
+    ),
 }
 
 _UNIT_NS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}

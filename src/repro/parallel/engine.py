@@ -42,6 +42,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -321,6 +322,7 @@ class ParallelSlsEngine:
         self._versions: Dict[str, int] = {}
         # wid -> (otp OtpCacheInfo, tag OtpCacheInfo), trailing by one batch
         self._worker_cache: Dict[int, Tuple[OtpCacheInfo, OtpCacheInfo]] = {}
+        self._offload: Optional[ThreadPoolExecutor] = None
         self._closed = False
         if self.workers >= 1:
             if not shared_memory_available():
@@ -469,8 +471,19 @@ class ParallelSlsEngine:
             return False
 
     def close(self) -> None:
-        """Shut the pool down and unlink the shared arenas (idempotent)."""
+        """Shut the pool down and unlink the shared arenas (idempotent).
+
+        The offload executor (if :meth:`submit` was ever used) is drained
+        first — an in-flight batch completes, queued-but-unstarted work
+        is cancelled — so no thread outlives the pool it dispatches to.
+        """
         if not self._closed:
+            if self._offload is not None:
+                try:
+                    self._offload.shutdown(wait=True, cancel_futures=True)
+                except Exception:
+                    obs.inc("parallel.teardown_errors")
+                self._offload = None
             self._teardown()
             self._closed = True
 
@@ -631,6 +644,42 @@ class ParallelSlsEngine:
             pooled_q = result.values.astype(np.float64)[: entry.dim]
             out[i] = pooled_q * entry.scale + entry.bias * float(sum(weights))
         return out
+
+    # -- non-blocking submission -----------------------------------------------
+
+    def offload(self, fn, *args, **kwargs) -> Future:
+        """Run ``fn`` on the engine's single offload thread; return a future.
+
+        The pool's ``map_async(...).get(timeout)`` round trip blocks its
+        calling thread (releasing the GIL), so an asyncio server must not
+        run it on the event loop.  A dedicated one-thread executor keeps
+        submission non-blocking while serialising all store/pool access
+        through a single thread — the store's caches and the pool handle
+        are not thread-safe, and one serialisation domain means they
+        never race.
+        """
+        if self._closed:
+            raise ConfigurationError("engine is closed")
+        if self._offload is None:
+            self._offload = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="secndp-engine"
+            )
+        return self._offload.submit(fn, *args, **kwargs)
+
+    def submit(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+    ) -> Future:
+        """Non-blocking :meth:`sls_many`: dispatch and return a future.
+
+        The asyncio serving layer awaits this via
+        ``asyncio.wrap_future``; blocking callers can use
+        ``submit(...).result()``.  Exceptions (verification failures,
+        configuration errors) surface through the future.
+        """
+        return self.offload(self.sls_many, name, batch_rows, batch_weights)
 
     def _dispatch(self, tasks) -> Optional[list]:
         """One timed fan-out; ``None`` signals an unhealthy pool."""

@@ -1,0 +1,72 @@
+"""Asyncio serving front-end: coalescing, admission control, TCP frames.
+
+The request-level ingress for the SecNDP store (DESIGN.md Sec. 15).
+Throughput, not per-call latency, is the committed metric here: single
+SLS queries arriving on the event loop coalesce into amortized
+``sls_many`` batches (the union-of-rows path that BENCH_hotpaths.json
+already shows at ~2.4x), while an SLO-burn admission gate sheds load
+and resizes the batch window to keep p99 inside budget.
+
+::
+
+    store = SecureEmbeddingStore(key)
+    store.add_table("emb", table)
+    async with SlsServer(store, port=0) as server:
+        client = await AsyncSlsClient.connect("127.0.0.1", server.port)
+        vec = await client.sls("emb", [1, 5, 9])
+
+Layout: :mod:`.protocol` (length-prefixed msgpack/JSON frames, typed
+request/response dataclasses), :mod:`.scheduler` (the batching
+scheduler and its scatter semantics), :mod:`.admission` (SLO-aware
+admission control), :mod:`.server` (the TCP server and the two-transport
+client), :mod:`.bench` (the throughput harness behind
+``repro bench-serve`` and ``BENCH_serve.json``).
+"""
+
+from .admission import DEFAULT_SERVE_SLO, AdmissionConfig, AdmissionController
+from .protocol import (
+    CODEC_JSON,
+    CODEC_MSGPACK,
+    MAX_FRAME_BYTES,
+    RESPONSE_STATUSES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN,
+    FrameError,
+    SlsRequest,
+    SlsResponse,
+    available_codecs,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from .scheduler import DEFAULT_MAX_BATCH, BatchScheduler
+from .server import AsyncSlsClient, SlsServer
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "DEFAULT_SERVE_SLO",
+    "DEFAULT_MAX_BATCH",
+    "BatchScheduler",
+    "AsyncSlsClient",
+    "SlsServer",
+    "SlsRequest",
+    "SlsResponse",
+    "FrameError",
+    "available_codecs",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "MAX_FRAME_BYTES",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_OVERLOADED",
+    "STATUS_SHUTTING_DOWN",
+    "RESPONSE_STATUSES",
+]

@@ -1,0 +1,218 @@
+"""SLO-aware admission control for the batching front-end.
+
+The scheduler has two levers when demand exceeds capacity, and this
+module decides when to pull each (DESIGN.md Sec. 15):
+
+1. **Shed load** — fast-reject new requests with a typed ``overloaded``
+   response.  Triggered by a hard queue-depth cap (deterministic
+   backpressure: a full pending queue means the executor is already
+   saturated) or by a *critical* SLO burn (the latency error budget is
+   being consumed at ≥ :data:`~repro.obs.slo.BURN_CRITICAL` times the
+   provisioned rate — the classic fast-burn paging threshold).
+2. **Resize the batch window** — a burning-but-not-critical objective
+   halves ``max_wait_us`` (smaller batches, lower queueing delay, less
+   amortization); a healthy objective widens it back multiplicatively
+   toward the configured maximum (more coalescing per
+   ``sls_many`` call — the throughput lever).
+
+The latency signal is the server's own end-to-end request latency
+(submit → response), recorded into a bounded sliding window of
+observations and evaluated against a parsed :class:`~repro.obs.slo.SloSpec`
+(``serve.latency.p99 < 50ms @ 5%`` by default) — the same spec grammar,
+budget semantics and burn arithmetic as ``repro obs report``, so the
+gate and the report can never disagree about what "past budget" means.
+Evaluations run every ``eval_every`` requests, not per request; between
+evaluations the controller's decisions are pure reads.
+
+The controller keeps its own counters (deterministic, always on) and
+mirrors them into :mod:`repro.obs` when metrics are enabled, so tests
+and benches never depend on the global registry toggle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Union
+from collections import deque
+
+from .. import obs
+from ..errors import ConfigurationError
+from ..obs.hist import LogHistogram
+from ..obs.slo import BURN_CRITICAL, SloSpec
+
+__all__ = ["AdmissionConfig", "AdmissionController", "DEFAULT_SERVE_SLO"]
+
+#: Default serving objective: p99 end-to-end latency under 50 ms with a
+#: 5% error budget.  Generous for the functional stack; deployments
+#: tighten it per table size.
+DEFAULT_SERVE_SLO = "serve.latency.p99 < 50ms @ 5%"
+
+#: Multiplicative window widening per healthy evaluation (the shrink on
+#: a burning evaluation is a hard halving — react fast, recover slow).
+_WIDEN_FACTOR = 1.25
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for the admission gate and the adaptive batch window."""
+
+    #: latency objective (``repro.obs.slo`` spec grammar; must be a
+    #: ``<timer>.pNN < duration`` latency spec)
+    slo: Union[str, SloSpec] = DEFAULT_SERVE_SLO
+    #: hard cap on queued-but-unexecuted requests before shedding
+    max_queue: int = 1024
+    #: batch-window bounds and starting point (microseconds)
+    min_wait_us: float = 100.0
+    max_wait_us: float = 5000.0
+    initial_wait_us: Optional[float] = None  #: default: max_wait_us
+    #: requests between SLO re-evaluations
+    eval_every: int = 64
+    #: sliding window of latency observations the burn is computed over
+    window_obs: int = 1024
+    #: stop shedding once the burn rate recovers to <= this
+    resume_burn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if self.min_wait_us <= 0 or self.max_wait_us < self.min_wait_us:
+            raise ConfigurationError(
+                "need 0 < min_wait_us <= max_wait_us "
+                f"(got {self.min_wait_us}, {self.max_wait_us})"
+            )
+        if self.eval_every < 1 or self.window_obs < 1:
+            raise ConfigurationError("eval_every and window_obs must be >= 1")
+        start = self.initial_wait_us
+        if start is not None and not self.min_wait_us <= start <= self.max_wait_us:
+            raise ConfigurationError(
+                "initial_wait_us must lie within [min_wait_us, max_wait_us]"
+            )
+
+
+class AdmissionController:
+    """Shed/resize decisions from SLO burn rates over served latencies."""
+
+    def __init__(self, config: AdmissionConfig = AdmissionConfig()):
+        self.config = config
+        spec = (
+            config.slo
+            if isinstance(config.slo, SloSpec)
+            else SloSpec.parse(config.slo)
+        )
+        if spec.kind != "latency":
+            raise ConfigurationError(
+                f"admission SLO must be a latency objective "
+                f"(<timer>.pNN < duration), got {spec.raw!r}"
+            )
+        self.spec = spec
+        self.wait_us = float(
+            config.initial_wait_us
+            if config.initial_wait_us is not None
+            else config.max_wait_us
+        )
+        self.shedding = False
+        self.burn_rate = 0.0
+        self.state = 0  #: 0 healthy, 1 degraded, 2 critical (obs.slo semantics)
+        self._latencies: Deque[int] = deque(maxlen=config.window_obs)
+        self._since_eval = 0
+        self.counters: Dict[str, int] = {
+            "admitted": 0,
+            "shed": 0,
+            "shed_queue_full": 0,
+            "shed_slo": 0,
+            "evaluations": 0,
+        }
+
+    # -- signal ingestion ------------------------------------------------------
+
+    def record(self, latency_ns: int) -> None:
+        """One served request's end-to-end latency; may trigger a re-eval."""
+        self._latencies.append(int(latency_ns))
+        self._since_eval += 1
+        if self._since_eval >= self.config.eval_every:
+            self.evaluate()
+
+    def evaluate(self) -> int:
+        """Recompute burn rate, state, shedding flag and batch window.
+
+        Returns the new state (0/1/2).  Called automatically every
+        ``eval_every`` recorded latencies; callable directly for tests
+        and for the scheduler's drain path.
+        """
+        self._since_eval = 0
+        self.counters["evaluations"] += 1
+        hist = LogHistogram()
+        for ns in self._latencies:
+            hist.observe(ns)
+        if hist.count:
+            bad = hist.fraction_above(self.spec.threshold)
+        else:
+            bad = 0.0
+        self.burn_rate = bad / self.spec.budget if self.spec.budget else 0.0
+        if self.burn_rate >= BURN_CRITICAL:
+            self.state = 2
+        elif self.burn_rate > 1.0:
+            self.state = 1
+        else:
+            self.state = 0
+
+        # Window resize: react fast (halve) on any burn, recover slowly
+        # (multiplicative widen) only while healthy.
+        if self.state >= 1:
+            self.wait_us = max(self.config.min_wait_us, self.wait_us / 2.0)
+        else:
+            self.wait_us = min(self.config.max_wait_us, self.wait_us * _WIDEN_FACTOR)
+
+        # Shed on critical burn; resume only once the burn has recovered
+        # below the resume threshold (hysteresis - no flapping at 4.0x).
+        was_shedding = self.shedding
+        if self.state == 2:
+            self.shedding = True
+        elif self.shedding and self.burn_rate <= self.config.resume_burn:
+            self.shedding = False
+        if self.shedding != was_shedding:
+            obs.emit_event(
+                obs.SERVE_OVERLOAD,
+                shedding=self.shedding,
+                burn_rate=round(self.burn_rate, 3),
+                wait_us=round(self.wait_us, 1),
+            )
+
+        obs.gauge("serve.admission.state", float(self.state))
+        obs.gauge("serve.admission.burn", float(self.burn_rate))
+        obs.gauge("serve.batch_window_us", float(self.wait_us))
+        obs.gauge("serve.admission.shedding", 1.0 if self.shedding else 0.0)
+        return self.state
+
+    # -- the gate --------------------------------------------------------------
+
+    def admit(self, queue_depth: int) -> bool:
+        """Admit or shed one validated request (updates counters)."""
+        if queue_depth >= self.config.max_queue:
+            self.counters["shed"] += 1
+            self.counters["shed_queue_full"] += 1
+            obs.inc("serve.shed")
+            obs.inc("serve.shed.queue_full")
+            return False
+        if self.shedding:
+            self.counters["shed"] += 1
+            self.counters["shed_slo"] += 1
+            obs.inc("serve.shed")
+            obs.inc("serve.shed.slo")
+            return False
+        self.counters["admitted"] += 1
+        obs.inc("serve.admitted")
+        return True
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Deterministic local view (independent of the obs toggle)."""
+        return {
+            **{k: float(v) for k, v in self.counters.items()},
+            "burn_rate": float(self.burn_rate),
+            "state": float(self.state),
+            "shedding": 1.0 if self.shedding else 0.0,
+            "wait_us": float(self.wait_us),
+            "window_observations": float(len(self._latencies)),
+        }

@@ -1,0 +1,404 @@
+"""Asyncio batching scheduler: request coalescing over ``sls_many``.
+
+The throughput lever of the serving front-end (DESIGN.md Sec. 15):
+single-query SLS requests arriving on the event loop are collected — for
+up to the admission controller's current batch window (``max_wait_us``,
+adaptive) or ``max_batch`` requests, whichever fills first — into one
+per-table batch, executed through the amortized union-of-rows path
+(:meth:`~repro.workloads.secure_sls.SecureEmbeddingStore.sls_many`, or a
+:class:`~repro.parallel.engine.ParallelSlsEngine` when one is attached),
+and scattered back to the per-request futures.
+
+Exactness is non-negotiable: a coalesced response is bit-identical to a
+direct ``store.sls`` call for the same query.  Verification outcomes
+stay per-request — when a batch fails verification wholesale, the
+scatter hook (:meth:`~repro.workloads.secure_sls.SecureEmbeddingStore.sls_scatter`)
+degrades it to per-query serving so a corrupted row fails exactly the
+requests that touch it and feeds the existing recovery ladder for
+recovery-enabled stores.
+
+The event loop never blocks on crypto or pool round-trips: batches run
+on a single offload thread (the engine's, or the scheduler's own
+executor), so heartbeats, new connections and admission decisions stay
+live during a long batch.  The scheduler keeps deterministic local
+counters (``stats()``) and mirrors them into :mod:`repro.obs` when
+metrics are enabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..errors import (
+    ConfigurationError,
+    RecoveryExhaustedError,
+    VerificationError,
+)
+from .admission import AdmissionConfig, AdmissionController
+from .protocol import (
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN,
+    SlsRequest,
+    SlsResponse,
+    error_response,
+)
+
+__all__ = ["BatchScheduler", "DEFAULT_MAX_BATCH"]
+
+#: Default coalescing cap: requests per executed batch.
+DEFAULT_MAX_BATCH = 32
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for (or in) a batch."""
+
+    request: SlsRequest
+    rows: List[int]          #: validated/normalised by ``_validate_query``
+    weights: List[int]
+    future: "asyncio.Future[SlsResponse]"
+    submitted_ns: int
+
+
+class BatchScheduler:
+    """Coalesce single SLS requests into amortized per-table batches.
+
+    Parameters
+    ----------
+    store:
+        A loaded :class:`~repro.workloads.secure_sls.SecureEmbeddingStore`.
+    engine:
+        Optional :class:`~repro.parallel.engine.ParallelSlsEngine`
+        wrapping the same store; batches then run through its
+        non-blocking :meth:`~repro.parallel.engine.ParallelSlsEngine.submit`
+        path (sharded across the pool) instead of the scheduler's own
+        offload thread.
+    max_batch:
+        Coalescing cap per executed batch.
+    admission:
+        An :class:`AdmissionController`, an :class:`AdmissionConfig`, or
+        ``None`` for the default controller.
+
+    All coroutine methods must run on one event loop; :meth:`close`
+    drains in-flight batches and must be awaited on that same loop.
+    """
+
+    def __init__(
+        self,
+        store,
+        engine=None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        admission=None,
+    ):
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if engine is not None and engine.store is not store:
+            raise ConfigurationError("engine must wrap the scheduler's store")
+        self.store = store
+        self.engine = engine
+        self.max_batch = max_batch
+        if admission is None:
+            admission = AdmissionController()
+        elif isinstance(admission, AdmissionConfig):
+            admission = AdmissionController(admission)
+        self.admission = admission
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._batchers: Dict[str, asyncio.Task] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pending = 0          #: admitted, not yet resolved
+        self._draining = False
+        self._closed = False
+        self._stats: Dict[str, int] = {
+            "requests": 0,
+            "responses_ok": 0,
+            "responses_error": 0,
+            "rejected_invalid": 0,
+            "rejected_shutdown": 0,
+            "batches": 0,
+            "batch_queries": 0,
+            "batch_rows_total": 0,
+            "batch_rows_unique": 0,
+            "empty_ticks": 0,
+            "batch_degradations": 0,
+        }
+
+    # -- submission ------------------------------------------------------------
+
+    async def submit(self, request: SlsRequest) -> SlsResponse:
+        """Serve one request through the coalescing pipeline.
+
+        The pre-queue ladder is synchronous (no awaits), so a burst of
+        submissions sees a consistent queue depth: validate (oversized /
+        malformed queries are rejected with a typed ``error`` response
+        *before* admission and never count against the gate), then the
+        admission gate (typed ``overloaded`` on shed), then enqueue.
+        """
+        self._stats["requests"] += 1
+        obs.inc("serve.requests")
+        if self._draining:
+            self._stats["rejected_shutdown"] += 1
+            obs.inc("serve.response.shutting_down")
+            return SlsResponse(
+                id=request.id,
+                status=STATUS_SHUTTING_DOWN,
+                error="server is draining",
+                kind="ServerClosedError",
+            )
+        if request.op != "sls" or request.table is None:
+            self._stats["rejected_invalid"] += 1
+            obs.inc("serve.response.invalid")
+            return error_response(
+                request.id,
+                ConfigurationError(f"malformed request (op={request.op!r})"),
+            )
+        # Validation before admission: a query the store would reject
+        # (overflow budget, negative weights, unknown table) must not
+        # consume queue capacity or skew the shed accounting.
+        try:
+            rows, weights = self.store._validate_query(
+                request.table, list(request.rows), request.weights
+            )
+        except KeyError:
+            self._stats["rejected_invalid"] += 1
+            obs.inc("serve.response.invalid")
+            return error_response(
+                request.id,
+                ConfigurationError(f"unknown table {request.table!r}"),
+            )
+        except ConfigurationError as exc:
+            self._stats["rejected_invalid"] += 1
+            obs.inc("serve.response.invalid")
+            return error_response(request.id, exc)
+
+        if not self.admission.admit(self._pending):
+            obs.inc("serve.response.overloaded")
+            return SlsResponse(
+                id=request.id,
+                status=STATUS_OVERLOADED,
+                error="admission control shed this request",
+                kind="OverloadedError",
+            )
+
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            request=request,
+            rows=rows,
+            weights=weights,
+            future=loop.create_future(),
+            submitted_ns=time.perf_counter_ns(),
+        )
+        self._pending += 1
+        queue = self._queues.get(request.table)
+        if queue is None:
+            queue = self._queues[request.table] = asyncio.Queue()
+        queue.put_nowait(pending)
+        task = self._batchers.get(request.table)
+        if task is None or task.done():
+            self._batchers[request.table] = loop.create_task(
+                self._batcher(request.table)
+            )
+        try:
+            return await pending.future
+        finally:
+            if pending.future.cancelled():
+                # The caller went away; the batcher drops cancelled
+                # entries at collection time (the empty-tick path).
+                self._pending -= 1
+
+    # -- the batcher loop ------------------------------------------------------
+
+    async def _batcher(self, name: str) -> None:
+        """One table's collect/execute loop; exits on the drain sentinel."""
+        queue = self._queues[name]
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            batch: List[_Pending] = [item]
+            deadline = loop.time() + self.admission.wait_us / 1e6
+            stop = False
+            while len(batch) < self.max_batch:
+                if self._draining:
+                    # Drain mode: no windowing, just flush what is queued.
+                    try:
+                        nxt = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(queue.get(), timeout)
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            live = [p for p in batch if not p.future.cancelled()]
+            if live:
+                await self._run_batch(name, live)
+            elif batch:
+                # Every collected request was cancelled before the tick
+                # fired: nothing to execute, nothing to offload.
+                self._stats["empty_ticks"] += 1
+                obs.inc("serve.batch.empty")
+            if stop:
+                break
+
+    async def _run_batch(self, name: str, batch: List[_Pending]) -> None:
+        rows_list = [p.rows for p in batch]
+        weights_list = [p.weights for p in batch]
+        self._stats["batches"] += 1
+        self._stats["batch_queries"] += len(batch)
+        total = sum(len(r) for r in rows_list)
+        unique = len({r for rows in rows_list for r in rows})
+        self._stats["batch_rows_total"] += total
+        self._stats["batch_rows_unique"] += unique
+        if obs.enabled():
+            obs.inc("serve.batch.calls")
+            obs.inc("serve.batch.queries", len(batch))
+            obs.inc("serve.batch.rows_total", total)
+            obs.inc("serve.batch.rows_unique", unique)
+        t0 = time.perf_counter_ns()
+        try:
+            with obs.span("serve.batch"):
+                values, outcomes = await self._execute(name, rows_list, weights_list)
+        except Exception as exc:  # post-validation failures are per-batch
+            for p in batch:
+                self._resolve(p, error_response(p.request.id, exc, via="batch"))
+            return
+        finally:
+            obs.observe_ns("serve.batch.ns", time.perf_counter_ns() - t0)
+        for p, row_values, outcome in zip(batch, values, outcomes):
+            if outcome.ok:
+                self._resolve(
+                    p,
+                    SlsResponse(
+                        id=p.request.id,
+                        status=STATUS_OK,
+                        values=tuple(float(v) for v in row_values),
+                        via="scatter" if outcome.degraded else "batch",
+                    ),
+                )
+            else:
+                self._resolve(
+                    p,
+                    SlsResponse(
+                        id=p.request.id,
+                        status="error",
+                        error=outcome.error,
+                        kind=outcome.kind,
+                        via="scatter",
+                    ),
+                )
+
+    async def _execute(
+        self, name: str, rows_list: List[List[int]], weights_list: List[List[int]]
+    ) -> Tuple[np.ndarray, list]:
+        """One batch through the amortized path, off the event loop.
+
+        Engine-backed schedulers go through the engine's non-blocking
+        :meth:`~repro.parallel.engine.ParallelSlsEngine.submit`; on a
+        verification failure the batch degrades to the store's scatter
+        hook (still on the engine's offload thread, so store access
+        stays single-threaded).  Without an engine the scheduler's own
+        single-thread executor plays the same role.
+        """
+        from ..workloads.secure_sls import QueryOutcome
+
+        if self.engine is not None:
+            try:
+                values = await asyncio.wrap_future(
+                    self.engine.submit(name, rows_list, weights_list)
+                )
+                return values, [QueryOutcome(ok=True)] * len(rows_list)
+            except (VerificationError, RecoveryExhaustedError):
+                self._stats["batch_degradations"] += 1
+                obs.inc("serve.batch.degradations")
+            scatter = self.engine.offload(
+                self.store.sls_scatter, name, rows_list, weights_list
+            )
+            return await asyncio.wrap_future(scatter)
+        loop = asyncio.get_running_loop()
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="secndp-serve"
+            )
+        return await loop.run_in_executor(
+            self._executor, self.store.sls_scatter, name, rows_list, weights_list
+        )
+
+    def _resolve(self, pending: _Pending, response: SlsResponse) -> None:
+        self._pending -= 1
+        if pending.future.cancelled():
+            return
+        latency = time.perf_counter_ns() - pending.submitted_ns
+        self.admission.record(latency)
+        obs.observe_ns("serve.latency.ns", latency)
+        if response.status == STATUS_OK:
+            self._stats["responses_ok"] += 1
+            obs.inc("serve.response.ok")
+        else:
+            self._stats["responses_error"] += 1
+            obs.inc("serve.response.error")
+            obs.inc("serve.errors")
+        pending.future.set_result(response)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet resolved (the admission queue depth)."""
+        return self._pending
+
+    async def close(self) -> None:
+        """Drain: finish in-flight batches, reject new work, release the
+        offload executor.  Idempotent; must run on the submit loop."""
+        if self._closed:
+            return
+        self._draining = True
+        for queue in self._queues.values():
+            queue.put_nowait(None)
+        if self._batchers:
+            await asyncio.gather(
+                *self._batchers.values(), return_exceptions=True
+            )
+        self._batchers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._closed = True
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Deterministic counters plus the admission controller's view."""
+        out: Dict[str, float] = {k: float(v) for k, v in self._stats.items()}
+        if self._stats["batch_rows_total"]:
+            out["dedupe_ratio"] = (
+                self._stats["batch_rows_unique"] / self._stats["batch_rows_total"]
+            )
+        out["mean_batch_fill"] = (
+            self._stats["batch_queries"] / self._stats["batches"]
+            if self._stats["batches"]
+            else 0.0
+        )
+        out["pending"] = float(self._pending)
+        for key, value in self.admission.stats().items():
+            out[f"admission.{key}"] = value
+        return out

@@ -1,0 +1,401 @@
+"""`SlsServer` (asyncio TCP front-end) and `AsyncSlsClient`.
+
+The server speaks the length-prefixed frame protocol of
+:mod:`repro.serve.protocol` and feeds every query into one
+:class:`~repro.serve.scheduler.BatchScheduler`, so requests from *all*
+connections coalesce into the same amortized batches.  Connections are
+pipelined: each frame is served by its own task and responses are
+written as their batches complete (the ``id`` field correlates them),
+which is what lets a single client drive enough concurrency to fill a
+batch window.
+
+The client has two transports with one API:
+
+* ``await AsyncSlsClient.connect(host, port)`` — TCP; a background
+  reader task dispatches responses to per-request futures, so any number
+  of ``sls()`` calls can be in flight on one connection.
+* ``AsyncSlsClient.in_process(scheduler)`` — no sockets; submits
+  straight into a scheduler.  This is the test/bench transport: it keeps
+  the scheduler semantics (admission, coalescing, typed errors) without
+  measuring loopback TCP.
+
+Typed failures map back to :mod:`repro.errors` classes client-side:
+an ``overloaded`` response raises :class:`~repro.errors.OverloadedError`,
+``shutting_down`` raises :class:`~repro.errors.ServerClosedError`, and
+``error`` responses re-raise the class named by ``kind``
+(:class:`~repro.errors.VerificationError`, ...).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from .. import errors, obs
+from ..errors import (
+    ConfigurationError,
+    OverloadedError,
+    SecNDPError,
+    ServerClosedError,
+)
+from .protocol import (
+    CODEC_JSON,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN,
+    FrameError,
+    SlsRequest,
+    SlsResponse,
+    error_response,
+    read_frame,
+    resolve_codec,
+    write_frame,
+)
+from .scheduler import DEFAULT_MAX_BATCH, BatchScheduler
+
+__all__ = ["SlsServer", "AsyncSlsClient"]
+
+
+class SlsServer:
+    """Serve a store's SLS queries over TCP through the batching scheduler.
+
+    Parameters mirror :class:`~repro.serve.scheduler.BatchScheduler`;
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  Use ``async with`` (or :meth:`start` /
+    :meth:`close`) so the listener, the scheduler's offload thread and
+    any attached engine pool are released deterministically.
+    """
+
+    def __init__(
+        self,
+        store,
+        engine=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        admission=None,
+        codec: str = "json",
+    ):
+        self.scheduler = BatchScheduler(
+            store, engine=engine, max_batch=max_batch, admission=admission
+        )
+        self.host = host
+        self.port = port
+        self._codec = resolve_codec(codec)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "SlsServer":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            return self
+        if self._closed:
+            raise ConfigurationError("server is closed")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        obs.inc("serve.server.starts")
+        obs.emit_event(obs.SERVE_START, host=self.host, port=self.port)
+        return self
+
+    async def close(self) -> None:
+        """Drain and stop (idempotent).
+
+        New connections are refused, new requests on live connections get
+        a typed ``shutting_down`` response, in-flight batches complete
+        and their responses are written, then the scheduler's executor
+        (and nothing else — an attached engine stays owned by the
+        caller) is released.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Scheduler drain resolves every pending future; the per-request
+        # tasks then just have responses left to write.
+        await self.scheduler.close()
+        if self._conn_tasks:
+            await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
+        obs.emit_event(obs.SERVE_DRAIN, host=self.host, port=self.port)
+
+    async def __aenter__(self) -> "SlsServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def serve_forever(self) -> None:
+        """Run until SIGINT/SIGTERM, then drain gracefully."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loops: rely on cancellation/close()
+        try:
+            await stop.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        obs.inc("serve.connections")
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    obj = await read_frame(reader)
+                except FrameError as exc:
+                    # Protocol violation: answer (best-effort) and drop
+                    # the connection — framing is unrecoverable.
+                    obs.inc("serve.frame_errors")
+                    await self._safe_write(
+                        writer, write_lock, error_response(0, exc)
+                    )
+                    break
+                if obj is None:  # clean EOF
+                    break
+                try:
+                    request = SlsRequest.from_wire(obj)
+                except FrameError as exc:
+                    rid = obj.get("id", 0) if isinstance(obj, dict) else 0
+                    obs.inc("serve.frame_errors")
+                    await self._safe_write(
+                        writer, write_lock, error_response(int(rid), exc)
+                    )
+                    continue
+                # One task per frame: the read loop immediately returns
+                # to the socket, so a single pipelining client can have
+                # a full batch window in flight.
+                task = asyncio.ensure_future(
+                    self._serve_one(request, writer, write_lock)
+                )
+                tasks.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tuple(tasks), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_one(
+        self,
+        request: SlsRequest,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        if request.op == "ping":
+            response = SlsResponse(id=request.id, status=STATUS_OK, via="ping")
+        else:
+            response = await self.scheduler.submit(request)
+        await self._safe_write(writer, write_lock, response)
+
+    async def _safe_write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: SlsResponse,
+    ) -> None:
+        try:
+            async with write_lock:
+                await write_frame(writer, response.to_wire(), self._codec)
+        except (ConnectionError, OSError):
+            obs.inc("serve.write_errors")
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return self.scheduler.stats()
+
+
+def _raise_for_response(response: SlsResponse) -> SlsResponse:
+    """Map a non-ok response to its typed :mod:`repro.errors` exception."""
+    if response.status == STATUS_OK:
+        return response
+    if response.status == STATUS_OVERLOADED:
+        raise OverloadedError(response.error or "request shed by admission control")
+    if response.status == STATUS_SHUTTING_DOWN:
+        raise ServerClosedError(response.error or "server is draining")
+    exc_cls = getattr(errors, response.kind or "", None)
+    if isinstance(exc_cls, type) and issubclass(exc_cls, SecNDPError):
+        raise exc_cls(response.error or response.kind)
+    raise SecNDPError(response.error or f"server error ({response.kind})")
+
+
+class AsyncSlsClient:
+    """One API over two transports: TCP frames or an in-process scheduler."""
+
+    def __init__(self):
+        self._scheduler: Optional[BatchScheduler] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._codec = CODEC_JSON
+        self._pending: Dict[int, "asyncio.Future[SlsResponse]"] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._next_id = 0
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, codec: str = "json"
+    ) -> "AsyncSlsClient":
+        client = cls()
+        client._codec = resolve_codec(codec)
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    @classmethod
+    def in_process(cls, scheduler: BatchScheduler) -> "AsyncSlsClient":
+        client = cls()
+        client._scheduler = scheduler
+        return client
+
+    # -- request plumbing ------------------------------------------------------
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                obj = await read_frame(self._reader)
+                if obj is None:
+                    break
+                response = SlsResponse.from_wire(obj)
+                future = self._pending.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (FrameError, ConnectionError, OSError) as exc:
+            error = exc
+        finally:
+            # Anything still pending will never be answered.
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServerClosedError(
+                            f"connection lost before a response arrived: {error}"
+                            if error
+                            else "connection closed before a response arrived"
+                        )
+                    )
+            self._pending.clear()
+
+    async def request(self, request: SlsRequest) -> SlsResponse:
+        """Send one request; return the raw typed response (no raising)."""
+        if self._closed:
+            raise ConfigurationError("client is closed")
+        if self._scheduler is not None:
+            if request.op == "ping":
+                return SlsResponse(id=request.id, status=STATUS_OK, via="ping")
+            return await self._scheduler.submit(request)
+        if self._writer is None:
+            raise ConfigurationError("client is not connected")
+        future: "asyncio.Future[SlsResponse]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request.id] = future
+        try:
+            await write_frame(self._writer, request.to_wire(), self._codec)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request.id, None)
+            raise ServerClosedError(f"connection lost: {exc}") from exc
+        return await future
+
+    # -- public API ------------------------------------------------------------
+
+    async def sls(
+        self,
+        table: str,
+        rows: Sequence[int],
+        weights: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """One verified SLS query; raises the typed error on failure."""
+        request = SlsRequest(
+            id=self._new_id(),
+            op="sls",
+            table=table,
+            rows=tuple(int(r) for r in rows),
+            weights=None if weights is None else tuple(int(w) for w in weights),
+        )
+        response = _raise_for_response(await self.request(request))
+        return np.asarray(response.values, dtype=np.float64)
+
+    async def sls_response(
+        self,
+        table: str,
+        rows: Sequence[int],
+        weights: Optional[Sequence[int]] = None,
+    ) -> SlsResponse:
+        """Like :meth:`sls` but returns the typed response instead of raising."""
+        return await self.request(
+            SlsRequest(
+                id=self._new_id(),
+                op="sls",
+                table=table,
+                rows=tuple(int(r) for r in rows),
+                weights=None if weights is None else tuple(int(w) for w in weights),
+            )
+        )
+
+    async def ping(self) -> bool:
+        try:
+            response = await self.request(
+                SlsRequest(id=self._new_id(), op="ping")
+            )
+        except SecNDPError:
+            return False
+        return response.status == STATUS_OK
+
+    async def close(self) -> None:
+        """Close the transport (the scheduler/server is not ours to stop)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._writer = None
+        if self._reader_task is not None:
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:  # pragma: no cover
+                pass
+            self._reader_task = None
+
+    async def __aenter__(self) -> "AsyncSlsClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

@@ -39,9 +39,26 @@ from ..faults.plan import FaultInjector
 from ..faults.recovery import RecoveryLog, RecoveryOutcome, RecoveryPolicy
 from .quantization import ColumnwiseQuantizer, TablewiseQuantizer
 
-__all__ = ["SecureEmbeddingStore"]
+__all__ = ["QueryOutcome", "SecureEmbeddingStore"]
 
 _BLOCK_BYTES = 16
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Per-query verdict from :meth:`SecureEmbeddingStore.sls_scatter`.
+
+    ``ok`` queries carry served values; failed queries name the terminal
+    exception (``kind`` is the :mod:`repro.errors` class name) so the
+    serving layer can emit a typed per-request error.  ``degraded`` marks
+    queries served (or failed) on the per-query fallback path after the
+    amortized batch failed verification wholesale.
+    """
+
+    ok: bool
+    error: Optional[str] = None
+    kind: Optional[str] = None
+    degraded: bool = False
 
 
 @dataclass
@@ -406,6 +423,65 @@ class SecureEmbeddingStore:
         :meth:`sls_many` path.
         """
         return self.sls_many(name, batch_rows, batch_weights)
+
+    def sls_scatter(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+    ) -> Tuple[np.ndarray, List["QueryOutcome"]]:
+        """Batched SLS with per-query verification outcomes preserved.
+
+        The scatter hook behind the serving front-end: a coalesced batch
+        runs the amortized :meth:`sls_many` path, but a verification
+        failure must not fail every request in the batch — only the
+        requests whose queries actually touch a corrupted row.  On a
+        batch-level failure (or exhausted recovery) the batch degrades to
+        per-query serving: each query runs individually (feeding the
+        recovery ladder when one is attached), failed queries get an
+        all-zero row plus a failed :class:`QueryOutcome`, and every other
+        query's values stay bit-identical to a direct :meth:`sls` call.
+
+        Returns ``(values, outcomes)`` where ``values`` has one row per
+        query (zeros for failed queries) and ``outcomes[i]`` reports
+        whether query ``i`` was served.
+        """
+        batch_rows = [list(rows) for rows in batch_rows]
+        if batch_weights is not None:
+            batch_weights = [
+                None if w is None else list(w) for w in batch_weights
+            ]
+        try:
+            values = self.sls_many(name, batch_rows, batch_weights)
+            return values, [QueryOutcome(ok=True)] * len(batch_rows)
+        except (VerificationError, RecoveryExhaustedError) as exc:
+            obs.inc("sls.scatter.degradations")
+            obs.emit_event(
+                obs.RECOVERY_FALLBACK,
+                table=name,
+                scope="scatter",
+                queries=len(batch_rows),
+                error=type(exc).__name__,
+            )
+        entry = self._tables[name]
+        values = np.zeros((len(batch_rows), entry.dim))
+        outcomes: List[QueryOutcome] = []
+        for i, rows in enumerate(batch_rows):
+            weights = batch_weights[i] if batch_weights is not None else None
+            try:
+                values[i] = self.sls(name, rows, weights)
+                outcomes.append(QueryOutcome(ok=True, degraded=True))
+            except (VerificationError, RecoveryExhaustedError) as exc:
+                obs.inc("sls.scatter.query_failures")
+                outcomes.append(
+                    QueryOutcome(
+                        ok=False,
+                        error=str(exc),
+                        kind=type(exc).__name__,
+                        degraded=True,
+                    )
+                )
+        return values, outcomes
 
     # -- reference ---------------------------------------------------------------------
 

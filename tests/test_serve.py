@@ -1,0 +1,762 @@
+"""Tests for the asyncio batching front-end (``repro.serve``).
+
+Covers the frame protocol, the coalescing scheduler (including every
+edge case from DESIGN.md Sec. 15: empty batch tick, single-request
+batch, pre-admission validation, mid-batch re-encryption, per-request
+verification outcomes), SLO-aware admission control, graceful shutdown,
+the TCP server/client pair and the serving-specific telemetry surface.
+
+No pytest-asyncio dependency: each async scenario runs under its own
+``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import (
+    ConfigurationError,
+    OverloadedError,
+    SecNDPError,
+    ServerClosedError,
+    VerificationError,
+)
+from repro.obs.export import to_prometheus, validate_prometheus_text
+from repro.obs.slo import SloSpec
+from repro.parallel import ParallelSlsEngine
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    AsyncSlsClient,
+    BatchScheduler,
+    FrameError,
+    SlsRequest,
+    SlsResponse,
+    SlsServer,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN,
+)
+from repro.serve.protocol import (
+    CODEC_JSON,
+    MAX_FRAME_BYTES,
+    available_codecs,
+    decode_payload,
+    encode_frame,
+    error_response,
+    read_frame,
+    resolve_codec,
+)
+from repro.workloads.secure_sls import SecureEmbeddingStore
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.disable_events()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.disable_events()
+
+
+def make_store(n_rows: int = 64, dim: int = 16, seed: int = 0) -> SecureEmbeddingStore:
+    params = SecNDPParams(element_bits=32)
+    store = SecureEmbeddingStore(
+        SecNDPProcessor(KEY, params), UntrustedNdpDevice(params), quantization="table"
+    )
+    rng = np.random.default_rng(seed)
+    store.add_table("emb", rng.normal(size=(n_rows, dim)))
+    return store
+
+
+def make_queries(n_rows: int, n_queries: int, pf: int = 6, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    return [
+        [int(r) for r in rng.integers(0, n_rows, size=pf)] for _ in range(n_queries)
+    ]
+
+
+# -- frame protocol ------------------------------------------------------------
+
+
+class TestFrameProtocol:
+    def test_json_request_round_trip(self):
+        req = SlsRequest(id=3, op="sls", table="emb", rows=(1, 2, 2), weights=(1, 4, 2))
+        frame = encode_frame(req.to_wire(), CODEC_JSON)
+        codec, length = struct.unpack(">BI", frame[:5])
+        assert codec == CODEC_JSON and length == len(frame) - 5
+        back = SlsRequest.from_wire(decode_payload(codec, frame[5:]))
+        assert back == req
+
+    def test_json_response_floats_bit_exact(self):
+        # Shortest-repr JSON floats round-trip bit-exactly; this is what
+        # lets the TCP path keep the repo's bit-identity guarantee.
+        values = tuple(float(v) for v in np.random.default_rng(0).normal(size=32))
+        resp = SlsResponse(id=9, status=STATUS_OK, values=values)
+        frame = encode_frame(resp.to_wire(), CODEC_JSON)
+        back = SlsResponse.from_wire(decode_payload(CODEC_JSON, frame[5:]))
+        assert np.array_equal(np.asarray(back.values), np.asarray(values))
+
+    def test_read_frame_clean_eof(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(run()) is None
+
+    def test_read_frame_truncated_header(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x01\x00")
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="mid-header"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_read_frame_truncated_payload(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">BI", CODEC_JSON, 10) + b"{_tru")
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="mid-frame"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_read_frame_oversized_length_prefix(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">BI", CODEC_JSON, MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameError, match="MAX_FRAME_BYTES"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_unknown_codec_id_rejected(self):
+        with pytest.raises(FrameError, match="unknown codec"):
+            decode_payload(99, b"{}")
+        with pytest.raises(FrameError, match="unknown codec"):
+            encode_frame({}, 99)
+
+    def test_msgpack_gated_when_absent(self):
+        if "msgpack" in available_codecs():
+            assert resolve_codec("msgpack") != CODEC_JSON
+        else:
+            with pytest.raises(ConfigurationError, match="msgpack"):
+                resolve_codec("msgpack")
+        with pytest.raises(ConfigurationError, match="unknown frame codec"):
+            resolve_codec("protobuf")
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(FrameError, match="status"):
+            SlsResponse(id=1, status="maybe")
+
+    def test_error_response_carries_kind(self):
+        resp = error_response(7, VerificationError("tag mismatch"))
+        assert resp.status == "error"
+        assert resp.kind == "VerificationError"
+        assert "tag mismatch" in resp.error
+
+
+# -- sls_scatter (per-query outcomes) ------------------------------------------
+
+
+class TestSlsScatter:
+    def test_happy_path_matches_sls(self):
+        store = make_store()
+        queries = make_queries(64, 8)
+        expected = np.asarray([store.sls("emb", q) for q in queries])
+        values, outcomes = store.sls_scatter("emb", queries)
+        assert np.array_equal(values, expected)
+        assert all(o.ok and not o.degraded for o in outcomes)
+
+    def test_corrupted_row_fails_only_touching_queries(self):
+        store = make_store()
+        bad_row = 5
+        queries = [[1, 2, 3], [4, bad_row, 6], [7, 8, 9], [bad_row, 10, 11]]
+        expected = np.asarray([store.sls("emb", q) for q in queries])
+        store.device.corrupt_stored_ciphertext("emb", bad_row, 0, 1)
+        values, outcomes = store.sls_scatter("emb", queries)
+        for i, q in enumerate(queries):
+            if bad_row in q:
+                assert not outcomes[i].ok
+                assert outcomes[i].kind == "VerificationError"
+                assert np.all(values[i] == 0.0)
+            else:
+                assert outcomes[i].ok and outcomes[i].degraded
+                assert np.array_equal(values[i], expected[i])
+
+
+# -- engine submit/offload (satellite 1 + 2) -----------------------------------
+
+
+class TestEngineOffload:
+    def test_submit_returns_future_matching_sls_many(self):
+        store = make_store()
+        engine = ParallelSlsEngine(store, workers=0)
+        try:
+            queries = make_queries(64, 6)
+            future = engine.submit("emb", queries)
+            expected = np.asarray([store.sls("emb", q) for q in queries])
+            assert np.array_equal(future.result(timeout=30), expected)
+        finally:
+            engine.close()
+
+    def test_offload_after_close_raises(self):
+        store = make_store()
+        engine = ParallelSlsEngine(store, workers=0)
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(ConfigurationError, match="closed"):
+            engine.offload(store.sls, "emb", [0])
+
+    def test_close_releases_offload_thread(self):
+        store = make_store()
+        engine = ParallelSlsEngine(store, workers=0)
+        engine.submit("emb", [[0, 1]]).result(timeout=30)
+        assert engine._offload is not None
+        engine.close()
+        assert engine._offload is None
+
+
+# -- the coalescing scheduler --------------------------------------------------
+
+
+class TestBatchScheduler:
+    def test_config_validation(self):
+        store = make_store()
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            BatchScheduler(store, max_batch=0)
+        other = make_store()
+        engine = ParallelSlsEngine(other, workers=0)
+        try:
+            with pytest.raises(ConfigurationError, match="wrap"):
+                BatchScheduler(store, engine=engine)
+        finally:
+            engine.close()
+
+    def test_coalesces_and_stays_bit_identical(self):
+        store = make_store(n_rows=128, dim=16)
+        queries = make_queries(128, 40)
+        expected = np.asarray([store.sls("emb", q) for q in queries])
+
+        async def run():
+            scheduler = BatchScheduler(store, max_batch=16)
+            client = AsyncSlsClient.in_process(scheduler)
+            results = await asyncio.gather(*[client.sls("emb", q) for q in queries])
+            stats = scheduler.stats()
+            await scheduler.close()
+            return np.asarray(results), stats
+
+        results, stats = asyncio.run(run())
+        assert np.array_equal(results, expected)
+        assert stats["batches"] < len(queries)  # actually coalesced
+        assert stats["batch_queries"] == len(queries)
+        assert stats["mean_batch_fill"] > 1.0
+        assert stats["dedupe_ratio"] <= 1.0
+        assert stats["responses_ok"] == len(queries)
+
+    def test_single_request_batch(self):
+        store = make_store()
+        expected = store.sls("emb", [3, 1, 4], [2, 1, 2])
+
+        async def run():
+            scheduler = BatchScheduler(store)
+            client = AsyncSlsClient.in_process(scheduler)
+            result = await client.sls("emb", [3, 1, 4], [2, 1, 2])
+            stats = scheduler.stats()
+            await scheduler.close()
+            return result, stats
+
+        result, stats = asyncio.run(run())
+        assert np.array_equal(result, expected)
+        assert stats["batches"] == 1
+        assert stats["mean_batch_fill"] == 1.0  # no dedupe win, still exact
+
+    def test_empty_batch_tick_when_all_cancelled(self):
+        store = make_store()
+
+        async def run():
+            scheduler = BatchScheduler(
+                store,
+                admission=AdmissionConfig(min_wait_us=100.0, max_wait_us=500.0),
+            )
+            task = asyncio.ensure_future(
+                scheduler.submit(SlsRequest(id=1, table="emb", rows=(0, 1)))
+            )
+            await asyncio.sleep(0)  # enqueue + spawn the batcher
+            task.cancel()
+            await asyncio.sleep(0.05)  # let the batch window elapse
+            stats = scheduler.stats()
+            await scheduler.close()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats["empty_ticks"] == 1
+        assert stats["batches"] == 0
+        assert stats["pending"] == 0
+
+    def test_oversized_query_rejected_before_admission(self):
+        store = make_store()
+
+        async def run():
+            scheduler = BatchScheduler(store)
+            client = AsyncSlsClient.in_process(scheduler)
+            # A 2^31 weight blows the Thm. A.2 overflow budget for any
+            # pooling factor; the store's _validate_query must reject it
+            # before the admission gate ever sees the request.
+            resp = await client.sls_response("emb", [0, 1], [2**31, 1])
+            neg = await client.sls_response("emb", [0], [-1])
+            unknown = await client.sls_response("nope", [0])
+            stats = scheduler.stats()
+            await scheduler.close()
+            return resp, neg, unknown, stats
+
+        resp, neg, unknown, stats = asyncio.run(run())
+        assert resp.status == "error" and resp.kind == "ConfigurationError"
+        assert "overflow" in resp.error
+        assert neg.status == "error" and neg.kind == "ConfigurationError"
+        assert unknown.status == "error" and "unknown table" in unknown.error
+        assert stats["rejected_invalid"] == 3
+        # Rejected-before-admission: the gate saw nothing.
+        assert stats["admission.admitted"] == 0
+        assert stats["admission.shed"] == 0
+
+    def test_corrupted_row_fails_exactly_touching_requests(self):
+        store = make_store()
+        bad_row = 9
+        queries = [[1, 2], [bad_row, 3], [4, 5], [6, bad_row], [7, 8]]
+        expected = [store.sls("emb", q) for q in queries]
+        store.device.corrupt_stored_ciphertext("emb", bad_row, 0, 1)
+
+        async def run():
+            scheduler = BatchScheduler(store, max_batch=len(queries))
+            client = AsyncSlsClient.in_process(scheduler)
+            responses = await asyncio.gather(
+                *[client.sls_response("emb", q) for q in queries]
+            )
+            stats = scheduler.stats()
+            await scheduler.close()
+            return responses, stats
+
+        responses, stats = asyncio.run(run())
+        for resp, q, exp in zip(responses, queries, expected):
+            if bad_row in q:
+                assert resp.status == "error"
+                assert resp.kind == "VerificationError"
+                assert resp.via == "scatter"
+            else:
+                assert resp.status == STATUS_OK
+                assert np.array_equal(np.asarray(resp.values), exp)
+        assert stats["responses_error"] == 2
+        assert stats["responses_ok"] == 3
+
+    def test_mid_batch_reencryption_stays_exact(self):
+        # The stale-arena path: an engine-backed scheduler keeps serving
+        # bit-identical results across a table re-encryption (version
+        # bump) happening between batches.
+        from repro.faults.recovery import RecoveryPolicy
+
+        params = SecNDPParams(element_bits=32)
+        store = SecureEmbeddingStore(
+            SecNDPProcessor(KEY, params),
+            UntrustedNdpDevice(params),
+            quantization="table",
+            recovery=RecoveryPolicy(retain_plaintext=True),
+        )
+        store.add_table("emb", np.random.default_rng(0).normal(size=(64, 8)))
+        engine = ParallelSlsEngine(store, workers=0)
+        queries = make_queries(64, 6)
+
+        async def run():
+            scheduler = BatchScheduler(store, engine=engine, max_batch=4)
+            client = AsyncSlsClient.in_process(scheduler)
+            first = await asyncio.gather(*[client.sls("emb", q) for q in queries])
+            store.reencrypt_table("emb")
+            second = await asyncio.gather(*[client.sls("emb", q) for q in queries])
+            await scheduler.close()
+            return np.asarray(first), np.asarray(second)
+
+        try:
+            first, second = asyncio.run(run())
+        finally:
+            engine.close()
+        expected = np.asarray([store.sls("emb", q) for q in queries])
+        assert np.array_equal(first, expected)
+        assert np.array_equal(second, expected)
+
+    def test_event_loop_stays_responsive_during_slow_batch(self):
+        # Satellite regression test: crypto runs on the offload thread,
+        # so a heartbeat task must keep ticking while a batch executes.
+        store = make_store()
+        real_sls_many = store.sls_many
+
+        def slow_sls_many(*args, **kwargs):
+            time.sleep(0.25)  # blocks the offload thread, not the loop
+            return real_sls_many(*args, **kwargs)
+
+        store.sls_many = slow_sls_many
+
+        async def run():
+            scheduler = BatchScheduler(store)
+            client = AsyncSlsClient.in_process(scheduler)
+            ticks = 0
+
+            async def heartbeat():
+                nonlocal ticks
+                while True:
+                    await asyncio.sleep(0.01)
+                    ticks += 1
+
+            beat = asyncio.ensure_future(heartbeat())
+            result = await client.sls("emb", [0, 1, 2])
+            beat.cancel()
+            await scheduler.close()
+            return result, ticks
+
+        result, ticks = asyncio.run(run())
+        assert np.array_equal(result, store.sls("emb", [0, 1, 2]))
+        # 0.25s blocked thread at a 10ms heartbeat: well over 5 ticks
+        # unless the loop itself was blocked.
+        assert ticks >= 5
+
+
+# -- graceful shutdown (satellite 2) -------------------------------------------
+
+
+class TestShutdown:
+    def test_drain_completes_inflight_then_rejects(self):
+        store = make_store()
+        queries = make_queries(64, 8)
+        expected = np.asarray([store.sls("emb", q) for q in queries])
+
+        async def run():
+            scheduler = BatchScheduler(store, max_batch=8)
+            client = AsyncSlsClient.in_process(scheduler)
+            inflight = [
+                asyncio.ensure_future(client.sls("emb", q)) for q in queries
+            ]
+            await asyncio.sleep(0)  # enqueue everything
+            await scheduler.close()
+            results = await asyncio.gather(*inflight)
+            late = await client.sls_response("emb", queries[0])
+            stats = scheduler.stats()
+            return np.asarray(results), late, stats
+
+        results, late, stats = asyncio.run(run())
+        assert np.array_equal(results, expected)  # in-flight work completed
+        assert late.status == STATUS_SHUTTING_DOWN
+        assert late.kind == "ServerClosedError"
+        assert stats["rejected_shutdown"] == 1
+        assert stats["pending"] == 0
+
+    def test_close_is_idempotent_and_releases_executor(self):
+        store = make_store()
+
+        async def run():
+            scheduler = BatchScheduler(store)
+            client = AsyncSlsClient.in_process(scheduler)
+            await client.sls("emb", [0, 1])
+            assert scheduler._executor is not None
+            await scheduler.close()
+            await scheduler.close()
+            assert scheduler._executor is None
+
+        asyncio.run(run())
+
+    def test_client_raises_server_closed(self):
+        store = make_store()
+
+        async def run():
+            scheduler = BatchScheduler(store)
+            client = AsyncSlsClient.in_process(scheduler)
+            await scheduler.close()
+            with pytest.raises(ServerClosedError):
+                await client.sls("emb", [0])
+
+        asyncio.run(run())
+
+    def test_teardown_error_accounting(self):
+        store = make_store()
+        engine = ParallelSlsEngine(store, workers=0)
+        engine.submit("emb", [[0]]).result(timeout=30)
+        obs.enable()
+
+        class Exploding:
+            def shutdown(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        engine._offload = Exploding()
+        engine.close()
+        assert obs.snapshot()["counters"]["parallel.teardown_errors"] == 1
+
+
+# -- admission control ---------------------------------------------------------
+
+
+class TestAdmissionController:
+    SLO = "serve.latency.p99 < 1ms @ 5%"
+
+    def controller(self, **kwargs) -> AdmissionController:
+        cfg = AdmissionConfig(slo=self.SLO, eval_every=10_000, **kwargs)
+        return AdmissionController(cfg)
+
+    def test_rejects_non_latency_slo(self):
+        with pytest.raises(ConfigurationError, match="latency"):
+            AdmissionController(AdmissionConfig(slo="serve.errors/serve.requests < 0.1"))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(min_wait_us=500.0, max_wait_us=100.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(initial_wait_us=10.0)  # below min_wait_us
+
+    def test_critical_burn_sheds_and_halves_window(self):
+        ctl = self.controller()
+        start = ctl.wait_us
+        for _ in range(100):
+            ctl.record(10_000_000)  # 10ms >> the 1ms objective
+        assert ctl.evaluate() == 2
+        assert ctl.shedding
+        assert ctl.wait_us == pytest.approx(start / 2)
+        assert not ctl.admit(0)
+        assert ctl.counters["shed_slo"] == 1
+
+    def test_hysteresis_then_recovery_widens_window(self):
+        ctl = self.controller(window_obs=100)
+        for _ in range(100):
+            ctl.record(10_000_000)
+        ctl.evaluate()
+        assert ctl.shedding
+        # Burn falls to 2x (10 bad / 100 at a 5% budget): above the
+        # resume threshold, so shedding must hold (no flapping)...
+        for _ in range(90):
+            ctl.record(100_000)
+        assert ctl.evaluate() == 1
+        assert ctl.shedding
+        # ...until the window is fully healthy again.
+        low = ctl.wait_us
+        for _ in range(100):
+            ctl.record(100_000)
+        assert ctl.evaluate() == 0
+        assert not ctl.shedding
+        assert ctl.wait_us > low  # multiplicative recovery
+
+    def test_queue_depth_cap_is_deterministic(self):
+        ctl = self.controller(max_queue=4)
+        assert ctl.admit(3)
+        assert not ctl.admit(4)
+        assert ctl.counters["shed_queue_full"] == 1
+        assert ctl.counters["admitted"] == 1
+
+    def test_shedding_transition_emits_audit_event(self):
+        log = obs.enable_events()
+        ctl = self.controller()
+        for _ in range(100):
+            ctl.record(10_000_000)
+        ctl.evaluate()
+        kinds = [event.kind for event in log.events()]
+        assert obs.SERVE_OVERLOAD in kinds
+
+    def test_scheduler_sheds_typed_overloaded(self):
+        store = make_store()
+
+        async def run():
+            scheduler = BatchScheduler(
+                store,
+                max_batch=4,
+                admission=AdmissionConfig(max_queue=4, eval_every=4),
+            )
+            client = AsyncSlsClient.in_process(scheduler)
+            responses = await asyncio.gather(
+                *[client.sls_response("emb", [i % 8]) for i in range(50)]
+            )
+            stats = scheduler.stats()
+            await scheduler.close()
+            return responses, stats
+
+        responses, stats = asyncio.run(run())
+        ok = [r for r in responses if r.status == STATUS_OK]
+        shed = [r for r in responses if r.status == STATUS_OVERLOADED]
+        # The synchronous pre-queue ladder makes the gather burst
+        # deterministic: exactly max_queue admitted, the rest typed.
+        assert len(ok) == 4
+        assert len(shed) == 46
+        assert all(r.kind == "OverloadedError" for r in shed)
+        assert stats["admission.shed_queue_full"] == 46
+
+    def test_client_raises_typed_overloaded(self):
+        store = make_store()
+
+        async def run():
+            scheduler = BatchScheduler(
+                store, admission=AdmissionConfig(max_queue=1)
+            )
+            client = AsyncSlsClient.in_process(scheduler)
+            tasks = [
+                asyncio.ensure_future(client.sls("emb", [i])) for i in range(20)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await scheduler.close()
+            return results
+
+        results = asyncio.run(run())
+        overloaded = [r for r in results if isinstance(r, OverloadedError)]
+        served = [r for r in results if isinstance(r, np.ndarray)]
+        assert overloaded and served
+        assert len(overloaded) + len(served) == 20
+
+
+# -- TCP server / client -------------------------------------------------------
+
+
+class TestTcpServer:
+    def test_end_to_end_bit_identical(self):
+        store = make_store(n_rows=128, dim=8)
+        queries = make_queries(128, 24)
+        expected = np.asarray([store.sls("emb", q) for q in queries])
+
+        async def run():
+            async with SlsServer(store, port=0) as server:
+                clients = [
+                    await AsyncSlsClient.connect("127.0.0.1", server.port)
+                    for _ in range(2)
+                ]
+                try:
+                    assert all(await asyncio.gather(*[c.ping() for c in clients]))
+                    results = await asyncio.gather(
+                        *[
+                            clients[i % 2].sls("emb", q)
+                            for i, q in enumerate(queries)
+                        ]
+                    )
+                finally:
+                    for c in clients:
+                        await c.close()
+                stats = server.stats()
+            return np.asarray(results), stats
+
+        results, stats = asyncio.run(run())
+        assert np.array_equal(results, expected)
+        assert stats["batches"] <= len(queries)
+        assert stats["responses_ok"] == len(queries)
+
+    def test_typed_error_crosses_the_wire(self):
+        store = make_store()
+
+        async def run():
+            async with SlsServer(store, port=0) as server:
+                async with await AsyncSlsClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    with pytest.raises(ConfigurationError, match="unknown table"):
+                        await client.sls("nope", [0])
+                    with pytest.raises(SecNDPError):
+                        await client.sls("emb", [0], [-1])
+                    # The connection survives typed errors.
+                    result = await client.sls("emb", [0, 1])
+            return result
+
+        result = asyncio.run(run())
+        assert np.array_equal(result, store.sls("emb", [0, 1]))
+
+    def test_malformed_frame_drops_connection_cleanly(self):
+        store = make_store()
+
+        async def run():
+            async with SlsServer(store, port=0) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(struct.pack(">BI", CODEC_JSON, MAX_FRAME_BYTES + 1))
+                await writer.drain()
+                resp = SlsResponse.from_wire(await read_frame(reader))
+                assert resp.status == "error"
+                assert resp.kind == "FrameError"
+                assert await reader.read() == b""  # server hung up
+                writer.close()
+                await writer.wait_closed()
+
+        asyncio.run(run())
+
+    def test_pending_requests_fail_typed_on_server_close(self):
+        store = make_store()
+
+        async def run():
+            server = await SlsServer(store, port=0).start()
+            client = await AsyncSlsClient.connect("127.0.0.1", server.port)
+            await client.ping()
+            await server.close()
+            with pytest.raises((ServerClosedError, SecNDPError)):
+                await client.sls("emb", [0, 1])
+            await client.close()
+
+        asyncio.run(run())
+
+
+# -- serving telemetry surface -------------------------------------------------
+
+
+class TestServeTelemetry:
+    def test_slo_ratio_aliases_parse(self):
+        shed = SloSpec.parse("serve.shed_rate < 0.1")
+        assert shed.kind == "ratio"
+        assert shed.numerator == ("serve.shed",)
+        assert shed.denominator == ("serve.requests",)
+        err = SloSpec.parse("serve.error_rate < 0.01")
+        assert err.numerator == ("serve.errors",)
+
+    def test_prometheus_labeled_response_family(self):
+        snap = {
+            "counters": {
+                "serve.requests": 9,
+                "serve.response.ok": 5,
+                "serve.response.overloaded": 3,
+                "serve.response.shutting_down": 1,
+            },
+            "gauges": {"serve.batch_window_us": 5000.0},
+            "timers": {},
+        }
+        text = to_prometheus(snap)
+        assert 'secndp_serve_responses_total{status="ok"} 5' in text
+        assert 'secndp_serve_responses_total{status="overloaded"} 3' in text
+        # Collapsed into the labeled family, not emitted per-status.
+        assert "secndp_serve_response_ok_total" not in text
+        assert "secndp_serve_requests_total 9" in text
+        assert validate_prometheus_text(text) > 0
+
+    def test_serve_metrics_flow_into_registry(self):
+        obs.enable()
+        store = make_store()
+        queries = make_queries(64, 12)
+
+        async def run():
+            scheduler = BatchScheduler(store, max_batch=4)
+            client = AsyncSlsClient.in_process(scheduler)
+            await asyncio.gather(*[client.sls("emb", q) for q in queries])
+            await scheduler.close()
+
+        asyncio.run(run())
+        snap = obs.snapshot()
+        assert snap["counters"]["serve.requests"] == len(queries)
+        assert snap["counters"]["serve.response.ok"] == len(queries)
+        assert snap["counters"]["serve.batch.queries"] == len(queries)
+        assert snap["timers"]["serve.latency.ns"]["count"] == len(queries)
+        assert snap["timers"]["serve.batch.ns"]["count"] >= 1
+        text = to_prometheus(snap)
+        assert validate_prometheus_text(text) > 0
