@@ -14,6 +14,10 @@ Usage::
     python -m repro obs report --scale smoke --slo "sls.batch.p99<50ms"
     python -m repro obs report --prom metrics.prom --events audit.jsonl
     python -m repro chaos --events audit.jsonl --slo "verify.failure_rate<0.2"
+    python -m repro chaos --sweep 1e-5..1e-2
+    python -m repro node node0 --port 7001
+    python -m repro cluster --nodes 3 --scale smoke
+    python -m repro bench-cluster --nodes 3 --json cluster.json
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md Sec. 4 for the experiment index).  ``--stats`` prints the
@@ -53,7 +57,12 @@ from typing import Dict
 from . import kernels, obs
 from .errors import ConfigurationError
 from .faults import FaultPlan
-from .harness.chaos import default_chaos_plan, run_chaos
+from .harness.chaos import (
+    default_chaos_plan,
+    parse_sweep_spec,
+    run_chaos,
+    run_chaos_sweep,
+)
 from .harness.configs import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
 from .parallel import default_workers
 from .harness.experiments import (
@@ -172,7 +181,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="chaos only: fault plan - a preset name (ci-default, "
-        "memory-storm, paper-5e3) or 'kind=rate,...'; overrides --fault-rate",
+        "memory-storm, paper-5e3, chaos-cluster) or 'kind=rate,...'; "
+        "overrides --fault-rate",
+    )
+    parser.add_argument(
+        "--sweep",
+        default=None,
+        metavar="SPEC",
+        help="chaos only: run a fault-rate grid instead of a single rate - "
+        "'1e-5..1e-2' (log-spaced decades) or '1e-4,1e-3' (explicit); "
+        "prints detection/recovery/overhead per grid point",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=3,
+        metavar="N",
+        help="cluster/bench-cluster: number of NDP node processes "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--trace",
@@ -535,6 +561,167 @@ def _bench_serve_cmd(args, scale: ExperimentScale, slo_specs) -> int:
     return 1 if slo_failed else 0
 
 
+def _node_cmd(args) -> int:
+    """``repro node [NAME]``: run one NDP node server in the foreground."""
+    from .cluster import run_node_process
+
+    name = args.action or "node0"
+    try:
+        run_node_process(name, host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        print(f"node {name} stopped")
+    except ConfigurationError as exc:
+        return _fail(str(exc))
+    return 0
+
+
+def _cluster_cmd(args, scale: ExperimentScale) -> int:
+    """``repro cluster``: demo store served across N local node processes.
+
+    Spawns the nodes, shards a demo table, replays a query stream through
+    the coordinator and cross-checks every answer against the local
+    oracle; exits non-zero on any divergence.
+    """
+    import asyncio
+
+    from .cluster import ClusterCoordinator, ClusterHealth, LocalCluster
+    from .serve.bench import SIZES, _build_store
+    from .workloads.traces import random_trace
+
+    if args.nodes < 1:
+        return _fail(f"--nodes must be >= 1, got {args.nodes}")
+    sizes = SIZES.get(scale.name, SIZES["default"])
+    own_events = obs.event_log() is None
+    if args.events is not None:
+        obs.enable_events(args.events)
+    elif own_events:
+        obs.enable_events()
+    event_log = obs.event_log()
+    ev_start = len(event_log)
+    print(
+        f"building demo store ({sizes['n_rows']} x {sizes['dim']}, "
+        f"scale={scale.name}) and spawning {args.nodes} node processes ..."
+    )
+    store = _build_store(sizes["n_rows"], sizes["dim"], seed=11)
+    trace = random_trace(sizes["n_rows"], sizes["n_queries"], 16, seed=13)
+    rows = [list(ix) for ix in trace.indices]
+    weights = [[int(w) for w in ws] for ws in trace.weights]
+    golden = store.sls_many("emb", rows, weights)
+
+    try:
+        with LocalCluster(args.nodes) as nodes:
+            for name, host, port in nodes:
+                print(f"  {name} on {host}:{port}")
+
+            async def run():
+                coordinator = ClusterCoordinator(store, nodes)
+                await coordinator.setup()
+                try:
+                    import numpy as np
+
+                    started = time.time()
+                    got = await coordinator.sls_many("emb", rows, weights)
+                    elapsed = time.time() - started
+                    mismatched = sum(
+                        1
+                        for q in range(len(rows))
+                        if not np.array_equal(got[q], golden[q])
+                    )
+                    return mismatched, elapsed, coordinator.stats()
+                finally:
+                    await coordinator.close()
+
+            mismatched, elapsed, stats = asyncio.run(run())
+    except ConfigurationError as exc:
+        return _fail(str(exc))
+    finally:
+        run_events = event_log.events()[ev_start:]
+        if args.events is not None or own_events:
+            obs.disable_events()
+
+    qps = len(rows) / elapsed if elapsed > 0 else 0.0
+    print(
+        f"served {len(rows)} queries across {args.nodes} nodes in "
+        f"{elapsed * 1e3:.1f} ms ({qps:.0f} qps), "
+        f"mismatched {mismatched}, live {stats['live']}"
+    )
+    print(ClusterHealth.from_events(run_events).render())
+    if args.events is not None:
+        print(f"security-event journal appended to {args.events}")
+    if mismatched:
+        return _fail(f"cluster served {mismatched} divergent queries")
+    return 0
+
+
+def _bench_cluster_cmd(args, scale: ExperimentScale) -> int:
+    """``repro bench-cluster``: the cluster robustness gate (CI smoke job).
+
+    Three legs, each held to blame precision/recall 1.0 and bit-identical
+    answers: (1) scripted in-process kill + tamper, (2) the seeded
+    ``chaos-cluster`` preset, (3) real node processes with a mid-run
+    SIGKILL and a byzantine dispatch.  Exit 1 if any leg fails its gate.
+    """
+    from .cluster import run_cluster_chaos, run_process_cluster_smoke, smoke_script
+
+    if args.nodes < 3:
+        return _fail(f"bench-cluster needs --nodes >= 3, got {args.nodes}")
+    legs = {}
+    started = time.time()
+    print(f"== bench-cluster (scale={scale.name}, nodes={args.nodes}) ==")
+    try:
+        print("-- leg 1: scripted kill + byzantine tamper (in-process) --")
+        legs["scripted"] = run_cluster_chaos(
+            n_nodes=args.nodes, script=smoke_script(args.nodes)
+        )
+        print(legs["scripted"].render())
+        print("-- leg 2: seeded chaos-cluster preset --")
+        legs["seeded"] = run_cluster_chaos(n_nodes=args.nodes)
+        print(legs["seeded"].render())
+        print("-- leg 3: real node processes, SIGKILL + byzantine --")
+        legs["process"] = run_process_cluster_smoke(n_nodes=args.nodes)
+        print(legs["process"].render())
+    except ConfigurationError as exc:
+        return _fail(str(exc))
+    print(f"[bench-cluster finished in {time.time() - started:.1f}s]")
+    if args.json:
+        bundle = {
+            leg: {
+                "plan": r.plan,
+                "queries": r.queries,
+                "mismatched": r.mismatched,
+                "faulted": r.faulted_nodes,
+                "blamed": r.blamed_nodes,
+                "quarantined": r.quarantined_nodes,
+                "reshards": r.reshards,
+                "blame_precision": r.blame_precision,
+                "blame_recall": r.blame_recall,
+                "passed": r.passed,
+            }
+            for leg, r in legs.items()
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh, indent=2, sort_keys=True)
+        print(f"results written to {args.json}")
+    for leg, result in legs.items():
+        if not result.passed:
+            return _fail(
+                f"bench-cluster leg {leg!r} failed: "
+                f"precision {result.blame_precision:.3f}, "
+                f"recall {result.blame_recall:.3f}, "
+                f"mismatched {result.mismatched}"
+            )
+    # The scripted legs must also show the full ladder on the journal.
+    for leg in ("scripted", "process"):
+        result = legs[leg]
+        if not result.quarantined_nodes or result.reshards < 1:
+            return _fail(
+                f"bench-cluster leg {leg!r} never quarantined/re-sharded "
+                f"(quarantined={result.quarantined_nodes}, "
+                f"reshards={result.reshards})"
+            )
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -545,6 +732,9 @@ def main(argv=None) -> int:
         print("  obs      telemetry commands (obs report)")
         print("  serve    TCP serving front-end with batching + admission control")
         print("  bench-serve  serving throughput: sequential vs coalesced QPS")
+        print("  node     run one NDP node server in the foreground")
+        print("  cluster  demo store sharded across N local node processes")
+        print("  bench-cluster  cluster robustness gate: blame/quarantine/re-shard")
         return 0
 
     if args.experiment not in EXPERIMENTS and args.experiment not in (
@@ -553,11 +743,14 @@ def main(argv=None) -> int:
         "obs",
         "serve",
         "bench-serve",
+        "node",
+        "cluster",
+        "bench-cluster",
     ):
         return _fail(
             f"unknown experiment {args.experiment!r} "
             f"(choose from: {', '.join(sorted(EXPERIMENTS))}, all, chaos, obs, "
-            f"serve, bench-serve, list)"
+            f"serve, bench-serve, node, cluster, bench-cluster, list)"
         )
     if args.scale not in _SCALES:
         return _fail(
@@ -587,6 +780,8 @@ def main(argv=None) -> int:
         if action != "report":
             return _fail(f"unknown obs action {action!r} (choose from: report)")
         return _obs_report(args, _SCALES[args.scale], slo_specs)
+    if args.experiment == "node":
+        return _node_cmd(args)
     if args.action is not None:
         return _fail(f"unexpected argument {args.action!r}")
     if args.metrics is not None:
@@ -595,6 +790,10 @@ def main(argv=None) -> int:
         return _serve_cmd(args, _SCALES[args.scale])
     if args.experiment == "bench-serve":
         return _bench_serve_cmd(args, _SCALES[args.scale], slo_specs)
+    if args.experiment == "cluster":
+        return _cluster_cmd(args, _SCALES[args.scale])
+    if args.experiment == "bench-cluster":
+        return _bench_cluster_cmd(args, _SCALES[args.scale])
 
     collect = (
         args.stats
@@ -619,6 +818,61 @@ def main(argv=None) -> int:
         return _fail(f"--workers must be >= 0, got {workers}")
 
     if args.experiment == "chaos":
+        scale = _SCALES[args.scale]
+        # Sharded chaos serving is opt-in: the run is a functional-stack
+        # replay, so default to in-process unless --workers was given.
+        chaos_workers = args.workers if args.workers is not None else 0
+        if args.sweep is not None:
+            try:
+                rates = parse_sweep_spec(args.sweep)
+            except ValueError as exc:
+                return _fail(str(exc))
+            print(
+                f"== chaos sweep: fault-rate grid "
+                f"{', '.join(f'{r:g}' for r in rates)} (scale={scale.name}) =="
+            )
+            started = time.time()
+            slo_failed = False
+            try:
+                with obs.span("experiment.chaos_sweep", cat="harness"):
+                    sweep = run_chaos_sweep(
+                        scale,
+                        rates,
+                        workers=chaos_workers,
+                        prewarm=args.prewarm,
+                        hot_fraction=args.hot_fraction,
+                    )
+                print(sweep.render())
+                print(f"[chaos sweep finished in {time.time() - started:.1f}s]\n")
+                if args.stats:
+                    print("== metrics ==")
+                    print(obs.format_snapshot(obs.snapshot()))
+                if args.slo is not None or args.prom is not None:
+                    snap = obs.snapshot(include_samples=True)
+                    if args.slo is not None:
+                        statuses = obs.SloTracker(slo_specs).evaluate(snap)
+                        slo_failed = _print_slo(statuses)
+                    if args.prom is not None:
+                        log = obs.event_log()
+                        counts = log.counts_by_kind() if log is not None else None
+                        _write_prometheus(args.prom, snap, counts)
+                if args.trace is not None:
+                    path = obs.write_trace(args.trace)
+                    print(f"trace written to {path}")
+            finally:
+                if collect and not was_enabled:
+                    obs.disable()
+                if args.trace is not None and not was_tracing:
+                    obs.disable_tracing()
+                if args.events is not None:
+                    obs.disable_events()
+            if not sweep.passed:
+                worst = min(sweep.results, key=lambda r: r.detection_rate)
+                return _fail(
+                    f"chaos sweep failed: worst detection rate "
+                    f"{worst.detection_rate:.3f} ({worst.plan})"
+                )
+            return 1 if slo_failed else 0
         try:
             plan = (
                 FaultPlan.parse(args.plan)
@@ -627,10 +881,6 @@ def main(argv=None) -> int:
             )
         except ConfigurationError as exc:
             return _fail(str(exc))
-        scale = _SCALES[args.scale]
-        # Sharded chaos serving is opt-in: the run is a functional-stack
-        # replay, so default to in-process unless --workers was given.
-        chaos_workers = args.workers if args.workers is not None else 0
         print(
             f"== chaos: fault injection + recovery replay "
             f"(scale={scale.name}, plan={plan.name}) =="

@@ -1,0 +1,446 @@
+"""Cluster chaos: injected node faults vs. blame precision/recall.
+
+The acceptance scenario of DESIGN.md Sec. 16: replay an SLS query
+stream through a coordinator + N nodes while per-dispatch node faults
+fire (byzantine tag shares, kills, partitions, slowness), then judge the
+coordinator on three axes:
+
+* **blame precision** — every node it blamed really had a fault
+  injected against one of its dispatches;
+* **blame recall** — every node with an injected fault got blamed;
+* **bit-identity** — every pooled vector equals the sequential
+  single-host oracle exactly (the coordinator's own store serves as the
+  oracle: its local device is honest by construction).
+
+Ground truth comes from the coordinator-side directive stream itself
+(:meth:`~repro.faults.plan.FaultInjector.node_directive` records every
+draw), blame from the typed ``node_blame`` / ``node_timeout`` /
+``node_dead`` audit events — the same journal
+:class:`~repro.cluster.health.ClusterHealth` merges, so the harness
+exercises the cross-host shard-health record end to end.
+
+Two drive modes share the machinery: a seeded :class:`FaultPlan`
+(``chaos-cluster`` preset, rate 1e-3) for the statistical run, and a
+*scripted* mode (kill node X at dispatch i, tamper node Y at dispatch j)
+for the deterministic CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..core.params import SecNDPParams
+from ..core.protocol import SecNDPProcessor, UntrustedNdpDevice
+from ..faults import PRESET_PLANS, FaultInjector, FaultPlan
+from ..faults.recovery import RecoveryPolicy
+from ..workloads.secure_sls import SecureEmbeddingStore
+from ..workloads.traces import random_trace
+from .coordinator import ClusterCoordinator
+from .health import ClusterHealth
+from .node import NodeServer
+
+__all__ = [
+    "ClusterChaosResult",
+    "ScriptedDirectives",
+    "run_cluster_chaos",
+    "run_process_cluster_smoke",
+    "smoke_script",
+]
+
+_KEY = bytes(range(16))
+
+#: Audit-event kinds that count as "the coordinator blamed this node".
+_BLAME_KINDS = (obs.NODE_BLAME, obs.NODE_TIMEOUT, obs.NODE_DEAD)
+
+
+class ScriptedDirectives:
+    """Deterministic directive source for the CI smoke scenario.
+
+    ``script`` maps a node name to a list of ``(dispatch_index,
+    directive)`` pairs, where ``dispatch_index`` counts that node's own
+    dispatches from 0.  Mimics the
+    :meth:`~repro.faults.plan.FaultInjector.node_directive` interface
+    and records every fired directive as ground truth.
+    """
+
+    def __init__(self, script: Dict[str, List[Tuple[int, Tuple]]]):
+        self.script = {
+            node: dict(entries) for node, entries in script.items()
+        }
+        self._seen: Dict[str, int] = {}
+        self.fired: List[Tuple[str, Tuple]] = []
+
+    def node_directive(self, site: str) -> Optional[Tuple]:
+        node = site.split(":", 1)[1] if ":" in site else site
+        i = self._seen.get(node, 0)
+        self._seen[node] = i + 1
+        directive = self.script.get(node, {}).get(i)
+        if directive is not None:
+            self.fired.append((node, tuple(directive)))
+        return directive
+
+
+class _RecordingInjector:
+    """Wrap a seeded injector; remember which node each draw hit."""
+
+    def __init__(self, injector: FaultInjector):
+        self.injector = injector
+        self.fired: List[Tuple[str, Tuple]] = []
+
+    def node_directive(self, site: str) -> Optional[Tuple]:
+        directive = self.injector.node_directive(site)
+        if directive is not None:
+            node = site.split(":", 1)[1] if ":" in site else site
+            self.fired.append((node, tuple(directive)))
+        return directive
+
+
+@dataclass(frozen=True)
+class ClusterChaosResult:
+    """One cluster chaos run's verdict."""
+
+    plan: str
+    nodes: int
+    queries: int
+    batches: int
+    mismatched: int
+    faulted_nodes: List[str]
+    blamed_nodes: List[str]
+    quarantined_nodes: List[str]
+    reshards: int
+    injected: Dict[str, int]
+    events: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def bit_identical(self) -> bool:
+        return self.mismatched == 0
+
+    @property
+    def blame_precision(self) -> float:
+        """Blamed nodes that really were faulted (1.0 = no false blame)."""
+        if not self.blamed_nodes:
+            return 1.0
+        hits = sum(1 for n in self.blamed_nodes if n in self.faulted_nodes)
+        return hits / len(self.blamed_nodes)
+
+    @property
+    def blame_recall(self) -> float:
+        """Faulted nodes that got blamed (1.0 = nothing slipped through)."""
+        if not self.faulted_nodes:
+            return 1.0
+        hits = sum(1 for n in self.faulted_nodes if n in self.blamed_nodes)
+        return hits / len(self.faulted_nodes)
+
+    @property
+    def passed(self) -> bool:
+        """The acceptance gate: exact answers, exact blame."""
+        return (
+            self.bit_identical
+            and self.blame_precision == 1.0
+            and self.blame_recall == 1.0
+        )
+
+    def render(self) -> str:
+        inj = ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items())) or "none"
+        evs = ", ".join(f"{k}={v}" for k, v in sorted(self.events.items())) or "none"
+        lines = [
+            f"plan {self.plan} | {self.nodes} nodes | "
+            f"{self.batches} batches, {self.queries} queries "
+            f"({self.elapsed_s * 1e3:.0f} ms)",
+            f"injected: {inj}",
+            f"audit events: {evs}",
+            f"faulted nodes: {', '.join(self.faulted_nodes) or '-'}",
+            f"blamed nodes: {', '.join(self.blamed_nodes) or '-'} "
+            f"(precision {self.blame_precision:.3f}, "
+            f"recall {self.blame_recall:.3f})",
+            f"quarantined: {', '.join(self.quarantined_nodes) or '-'}, "
+            f"reshards {self.reshards}",
+            f"bit-identical to single-host oracle: {self.bit_identical}",
+            f"verdict: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_cluster_chaos(
+    n_nodes: int = 3,
+    plan: Optional[FaultPlan] = None,
+    script: Optional[Dict[str, List[Tuple[int, Tuple]]]] = None,
+    n_batches: int = 12,
+    batch: int = 8,
+    pooling_factor: int = 16,
+    rows_per_table: int = 256,
+    dim: int = 16,
+    seed: int = 7,
+    task_timeout_s: float = 2.0,
+    blame_threshold: int = 1,
+) -> ClusterChaosResult:
+    """Run one coordinator + ``n_nodes`` in-process node servers under faults.
+
+    Nodes are real asyncio TCP servers on localhost sharing the test's
+    event loop (a ``dead`` directive abruptly stops one — the
+    coordinator sees an actual dropped connection).  ``script`` switches
+    to scripted directives (CI smoke); otherwise ``plan`` (default: the
+    ``chaos-cluster`` preset) drives a seeded
+    :class:`~repro.faults.plan.FaultInjector`, with slow-node delays
+    stretched past ``task_timeout_s`` so every injected fault is
+    observable and recall can reach 1.0.
+    """
+    if plan is None:
+        plan = PRESET_PLANS["chaos-cluster"]
+    if script is not None:
+        source = ScriptedDirectives(script)
+        plan_name = "scripted"
+        injected: Dict[str, int] = {}
+    else:
+        stretched = FaultPlan(
+            name=plan.name,
+            seed=plan.seed,
+            rates=dict(plan.rates),
+            max_faults=plan.max_faults,
+            delay_s=task_timeout_s * 2,
+        )
+        source = _RecordingInjector(FaultInjector(stretched))
+        plan_name = plan.name
+        injected = {}
+
+    params = SecNDPParams()
+    rng = np.random.default_rng(seed)
+    table = rng.normal(size=(rows_per_table, dim))
+
+    processor = SecNDPProcessor(_KEY, params)
+    device = UntrustedNdpDevice(params)
+    store = SecureEmbeddingStore(processor, device)
+    store.add_table("emb", table)
+
+    batches: List[Tuple[List[List[int]], List[List[int]]]] = []
+    for i in range(n_batches):
+        trace = random_trace(rows_per_table, batch, pooling_factor, seed=seed * 100 + i)
+        batches.append(
+            (
+                [list(ix) for ix in trace.indices],
+                [[int(w) for w in ws] for ws in trace.weights],
+            )
+        )
+    # The sequential single-host oracle (the coordinator's store is
+    # honest, so this is the ground-truth answer set).
+    expected = [store.sls_many("emb", rows, ws) for rows, ws in batches]
+
+    own_log = obs.event_log() is None
+    if own_log:
+        obs.enable_events()
+    event_log = obs.event_log()
+    ev_start = len(event_log)
+
+    async def _run() -> int:
+        servers = [NodeServer(f"node{i}") for i in range(n_nodes)]
+        for server in servers:
+            await server.start()
+        coordinator = ClusterCoordinator(
+            store,
+            [(s.name, s.host, s.port) for s in servers],
+            policy=RecoveryPolicy(backoff_base_s=1e-4, max_retries=1),
+            task_timeout_s=task_timeout_s,
+            blame_threshold=blame_threshold,
+            fault_injector=source,
+        )
+        mismatched = 0
+        try:
+            await coordinator.setup()
+            for (rows, ws), want in zip(batches, expected):
+                got = await coordinator.sls_many("emb", rows, ws)
+                for q in range(len(rows)):
+                    if not np.array_equal(got[q], want[q]):
+                        mismatched += 1
+        finally:
+            await coordinator.close()
+            for server in servers:
+                await server.close()
+        return mismatched
+
+    started = time.perf_counter()
+    mismatched = asyncio.run(_run())
+    elapsed = time.perf_counter() - started
+
+    run_events = event_log.events()[ev_start:]
+    if own_log:
+        obs.disable_events()
+
+    health = ClusterHealth.from_events(run_events)
+    blamed = sorted(
+        {
+            str(ev.worker)
+            for ev in run_events
+            if ev.kind in _BLAME_KINDS and ev.worker is not None
+        }
+    )
+    faulted = sorted({node for node, _ in source.fired})
+    for _node, directive in source.fired:
+        injected[directive[0]] = injected.get(directive[0], 0) + 1
+    event_counts: Dict[str, int] = {}
+    for ev in run_events:
+        event_counts[ev.kind] = event_counts.get(ev.kind, 0) + 1
+
+    result = ClusterChaosResult(
+        plan=plan_name,
+        nodes=n_nodes,
+        queries=sum(len(rows) for rows, _ in batches),
+        batches=len(batches),
+        mismatched=mismatched,
+        faulted_nodes=faulted,
+        blamed_nodes=blamed,
+        quarantined_nodes=list(health.quarantined),
+        reshards=health.reshards,
+        injected=injected,
+        events=event_counts,
+        elapsed_s=elapsed,
+    )
+    obs.gauge("cluster.chaos.blame_precision", result.blame_precision)
+    obs.gauge("cluster.chaos.blame_recall", result.blame_recall)
+    obs.gauge("cluster.chaos.bit_identical", 1.0 if result.bit_identical else 0.0)
+    obs.inc("cluster.chaos.queries", result.queries)
+    obs.inc("cluster.chaos.mismatched", mismatched)
+    return result
+
+
+def smoke_script(n_nodes: int = 3) -> Dict[str, List[Tuple[int, Tuple]]]:
+    """The CI scenario: kill one node and tamper another mid-run."""
+    if n_nodes < 3:
+        raise ValueError("smoke script wants >= 3 nodes")
+    return {
+        "node1": [(2, ("dead",))],
+        "node2": [(3, ("byzantine",))],
+    }
+
+def run_process_cluster_smoke(
+    n_nodes: int = 3,
+    n_batches: int = 8,
+    batch: int = 4,
+    pooling_factor: int = 8,
+    rows_per_table: int = 128,
+    dim: int = 8,
+    seed: int = 11,
+    task_timeout_s: float = 5.0,
+    kill_at_batch: int = 2,
+    tamper_at_dispatch: int = 4,
+) -> ClusterChaosResult:
+    """The CI smoke job over *real* node processes.
+
+    Spawns ``n_nodes`` OS processes via :class:`~.local.LocalCluster`,
+    SIGKILLs one mid-run (an actual host death, not a simulated one) and
+    ships a ``byzantine`` directive to another, then holds the
+    coordinator to the same gate as :func:`run_cluster_chaos`: exact
+    blame, quarantine + re-shard on the journal, every answer
+    bit-identical to the single-host oracle.
+    """
+    from .local import LocalCluster
+
+    if n_nodes < 3:
+        raise ValueError("process smoke wants >= 3 nodes")
+    params = SecNDPParams()
+    rng = np.random.default_rng(seed)
+    table = rng.normal(size=(rows_per_table, dim))
+
+    processor = SecNDPProcessor(_KEY, params)
+    device = UntrustedNdpDevice(params)
+    store = SecureEmbeddingStore(processor, device)
+    store.add_table("emb", table)
+
+    batches: List[Tuple[List[List[int]], List[List[int]]]] = []
+    for i in range(n_batches):
+        trace = random_trace(rows_per_table, batch, pooling_factor, seed=seed * 100 + i)
+        batches.append(
+            (
+                [list(ix) for ix in trace.indices],
+                [[int(w) for w in ws] for ws in trace.weights],
+            )
+        )
+    expected = [store.sls_many("emb", rows, ws) for rows, ws in batches]
+
+    # node1 dies for real (SIGKILL); node2 forges one dispatch's shares.
+    killed, tampered = "node1", "node2"
+    source = ScriptedDirectives({tampered: [(tamper_at_dispatch, ("byzantine",))]})
+
+    own_log = obs.event_log() is None
+    if own_log:
+        obs.enable_events()
+    event_log = obs.event_log()
+    ev_start = len(event_log)
+
+    cluster = LocalCluster(n_nodes)
+    started = time.perf_counter()
+    try:
+        nodes = cluster.start()
+
+        async def _run() -> int:
+            coordinator = ClusterCoordinator(
+                store,
+                nodes,
+                policy=RecoveryPolicy(backoff_base_s=1e-3, max_retries=1),
+                task_timeout_s=task_timeout_s,
+                fault_injector=source,
+            )
+            mismatched = 0
+            try:
+                await coordinator.setup()
+                for i, ((rows, ws), want) in enumerate(zip(batches, expected)):
+                    if i == kill_at_batch:
+                        cluster.kill(killed)
+                    got = await coordinator.sls_many("emb", rows, ws)
+                    for q in range(len(rows)):
+                        if not np.array_equal(got[q], want[q]):
+                            mismatched += 1
+            finally:
+                await coordinator.close()
+            return mismatched
+
+        mismatched = asyncio.run(_run())
+    finally:
+        cluster.close()
+    elapsed = time.perf_counter() - started
+
+    run_events = event_log.events()[ev_start:]
+    if own_log:
+        obs.disable_events()
+
+    health = ClusterHealth.from_events(run_events)
+    blamed = sorted(
+        {
+            str(ev.worker)
+            for ev in run_events
+            if ev.kind in _BLAME_KINDS and ev.worker is not None
+        }
+    )
+    # Ground truth: the SIGKILLed node plus every scripted directive.
+    faulted = sorted({killed} | {node for node, _ in source.fired})
+    injected: Dict[str, int] = {"sigkill": 1}
+    for _node, directive in source.fired:
+        injected[directive[0]] = injected.get(directive[0], 0) + 1
+    event_counts: Dict[str, int] = {}
+    for ev in run_events:
+        event_counts[ev.kind] = event_counts.get(ev.kind, 0) + 1
+
+    result = ClusterChaosResult(
+        plan="process-smoke",
+        nodes=n_nodes,
+        queries=sum(len(rows) for rows, _ in batches),
+        batches=len(batches),
+        mismatched=mismatched,
+        faulted_nodes=faulted,
+        blamed_nodes=blamed,
+        quarantined_nodes=list(health.quarantined),
+        reshards=health.reshards,
+        injected=injected,
+        events=event_counts,
+        elapsed_s=elapsed,
+    )
+    obs.gauge("cluster.smoke.blame_precision", result.blame_precision)
+    obs.gauge("cluster.smoke.blame_recall", result.blame_recall)
+    obs.gauge("cluster.smoke.bit_identical", 1.0 if result.bit_identical else 0.0)
+    return result

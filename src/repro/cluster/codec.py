@@ -1,0 +1,134 @@
+"""Wire codecs for the cluster tier's frame payloads.
+
+Cluster frames reuse the :mod:`repro.serve.protocol` length-prefixed
+container (JSON or msgpack), so everything here maps protocol objects to
+plain JSON-able values:
+
+* encrypted tables travel as the :mod:`repro.core.serialization` binary
+  container, base64-armoured — ciphertext and encrypted tags are
+  untrusted data and the container is already self-describing;
+* :class:`~repro.core.protocol.PartialSumShare` values are ring residues
+  (ints) and 127-bit field elements, which JSON handles natively as
+  Python bigints;
+* :class:`~repro.core.params.SecNDPParams` ships as its constructor
+  fields (the counter-block layout is the default everywhere in this
+  repo, so only widths and the tag modulus travel).
+
+The processor key rides in ``shard_assign`` as base64: cluster NDP
+nodes are *trusted-side* workers (exactly like the parallel engine's
+pool workers receiving a ``_PoolSpec``), not the untrusted memory party.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.encryption import EncryptedMatrix
+from ..core.params import SecNDPParams
+from ..core.protocol import PartialSumShare
+from ..core.serialization import deserialize_matrix, serialize_matrix
+from ..errors import ConfigurationError
+
+__all__ = [
+    "encode_params",
+    "decode_params",
+    "encode_table",
+    "decode_table",
+    "encode_share",
+    "decode_share",
+    "encode_key",
+    "decode_key",
+    "encode_queries",
+    "decode_queries",
+]
+
+
+def encode_params(params: SecNDPParams) -> Dict[str, Any]:
+    return {
+        "element_bits": int(params.element_bits),
+        "tag_modulus": int(params.tag_modulus),
+    }
+
+
+def decode_params(payload: Dict[str, Any]) -> SecNDPParams:
+    try:
+        return SecNDPParams(
+            element_bits=int(payload["element_bits"]),
+            tag_modulus=int(payload["tag_modulus"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad params payload: {exc}") from exc
+
+
+def encode_key(key: bytes) -> str:
+    return base64.b64encode(key).decode("ascii")
+
+
+def decode_key(payload: str) -> bytes:
+    try:
+        return base64.b64decode(payload)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad key payload: {exc}") from exc
+
+
+def encode_table(enc: EncryptedMatrix) -> str:
+    return base64.b64encode(serialize_matrix(enc)).decode("ascii")
+
+
+def decode_table(payload: str, params: SecNDPParams) -> EncryptedMatrix:
+    try:
+        blob = base64.b64decode(payload)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad table payload: {exc}") from exc
+    return deserialize_matrix(blob, params)
+
+
+def encode_share(part: PartialSumShare) -> Dict[str, Any]:
+    return {
+        "values": [[int(v) for v in row] for row in np.asarray(part.values)],
+        "tag_shares": (
+            None
+            if part.tag_shares is None
+            else [int(t) for t in part.tag_shares]
+        ),
+    }
+
+
+def decode_share(payload: Dict[str, Any], params: SecNDPParams) -> PartialSumShare:
+    try:
+        values = np.asarray(payload["values"], dtype=np.uint64).astype(
+            params.ring().dtype
+        )
+        if values.ndim == 1:  # zero-query batch serializes as []
+            values = values.reshape(0, 0)
+        tags = payload.get("tag_shares")
+        tag_shares: Optional[List[int]] = (
+            None if tags is None else [int(t) for t in tags]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad share payload: {exc}") from exc
+    return PartialSumShare(values=values, tag_shares=tag_shares)
+
+
+def encode_queries(
+    batch_rows: Sequence[Sequence[int]],
+    batch_weights: Sequence[Sequence[int]],
+) -> Dict[str, Any]:
+    return {
+        "batch_rows": [[int(r) for r in rows] for rows in batch_rows],
+        "batch_weights": [[int(w) for w in ws] for ws in batch_weights],
+    }
+
+
+def decode_queries(payload: Dict[str, Any]):
+    try:
+        rows = [[int(r) for r in q] for q in payload["batch_rows"]]
+        weights = [[int(w) for w in q] for q in payload["batch_weights"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad queries payload: {exc}") from exc
+    if len(rows) != len(weights):
+        raise ConfigurationError("batch_rows and batch_weights length mismatch")
+    return rows, weights

@@ -1,0 +1,516 @@
+"""Trusted coordinator: shard, dispatch, blame, fail over, re-shard.
+
+The cluster analogue of :class:`~repro.parallel.engine.ParallelSlsEngine`
+with the trust boundary moved across TCP.  The coordinator owns the
+authoritative :class:`~repro.workloads.secure_sls.SecureEmbeddingStore`
+(its local device doubles as the trusted recompute path) and treats
+every node's *answers* as untrusted until the per-shard tag check
+passes:
+
+1. **Shard**: tables are replicated to every node; row-range ownership
+   is logical (``np.linspace`` bounds over the row space, like the
+   parallel engine), so re-sharding is a bounds update with no data
+   movement.
+2. **Dispatch**: each query batch is masked per owner range and fanned
+   out as ``partial_sum`` frames under a deadline.
+3. **Blame**: each returned share is verified against its *own*
+   restricted checksum
+   (:meth:`~repro.core.protocol.SecNDPProcessor.failed_share_queries`)
+   before any combining — a mismatch blames exactly that node
+   (publicly-identifiable abort).  Timeouts and dead connections blame
+   the node on liveness.
+4. **Recover**: bounded same-node retries with deterministic
+   backoff+jitter, then re-issue to a healthy replica, then trusted
+   local recompute.  Every share that enters the final combine passed
+   its per-shard check, and ring/field addition is exact, so answers
+   stay bit-identical to the sequential single-host oracle.
+5. **Quarantine**: a node whose blame count crosses the threshold is
+   removed from the shard map and its rows re-owned by survivors;
+   every step lands in the audit journal (``node_blame`` /
+   ``node_quarantine`` / ``node_reshard`` / ``node_timeout`` /
+   ``node_dead``), making the journal the cross-host shard-health
+   record.
+
+The final combine still runs the whole-query check
+(:meth:`finalize_row_sum_batch` with ``verify=True``): per-shard
+identities are exact over residues, but a whole-query ring overflow
+(Thm. A.2) splits across shards and only the combined identity sees it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..core.protocol import PartialSumShare
+from ..errors import (
+    ConfigurationError,
+    PeerTimeoutError,
+    RecoveryExhaustedError,
+    SecNDPError,
+    ServerClosedError,
+    ShardVerificationError,
+)
+from ..faults.recovery import RecoveryPolicy
+from ..serve.protocol import resolve_heartbeat_timeout
+from .node import NodeClient
+from . import codec
+
+__all__ = ["ClusterCoordinator", "ShardMap", "DEFAULT_BLAME_THRESHOLD"]
+
+#: Blame strikes before a node is quarantined.  1 = zero tolerance: a
+#: single forged share (cryptographic evidence) or missed deadline
+#: removes the node; raise it when transient slowness is expected.
+DEFAULT_BLAME_THRESHOLD = 1
+
+
+@dataclass
+class ShardMap:
+    """Logical row-range ownership: ``bounds[name][i]`` = node i's ``[lo, hi)``."""
+
+    nodes: List[str]
+    bounds: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, nodes: Sequence[str], table_rows: Dict[str, int]) -> "ShardMap":
+        nodes = list(nodes)
+        bounds: Dict[str, List[Tuple[int, int]]] = {}
+        for name, n_rows in table_rows.items():
+            edges = np.linspace(0, n_rows, len(nodes) + 1).astype(np.int64)
+            bounds[name] = [
+                (int(edges[i]), int(edges[i + 1])) for i in range(len(nodes))
+            ]
+        return cls(nodes=nodes, bounds=bounds)
+
+    def owner_mask(
+        self, name: str, node: str, rows: Sequence[int], weights: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        lo, hi = self.bounds[name][self.nodes.index(node)]
+        sub_r, sub_w = [], []
+        for r, w in zip(rows, weights):
+            if lo <= r < hi:
+                sub_r.append(r)
+                sub_w.append(w)
+        return sub_r, sub_w
+
+    def ranges_for(self, node: str) -> Dict[str, Tuple[int, int]]:
+        i = self.nodes.index(node)
+        return {name: self.bounds[name][i] for name in sorted(self.bounds)}
+
+
+class ClusterCoordinator:
+    """Serve verified SLS queries across N NDP node processes.
+
+    Parameters
+    ----------
+    store:
+        The authoritative store; its tables define the shard map, its
+        processor performs per-shard verification and final combining,
+        and its (honest, local) device is the trusted recompute path of
+        last resort.
+    nodes:
+        ``(name, host, port)`` triples or connected :class:`NodeClient`\\ s.
+    policy:
+        Retry/backoff knobs (``max_retries``, ``backoff_s``); a default
+        :class:`~repro.faults.recovery.RecoveryPolicy` when omitted.
+    task_timeout_s:
+        Per-dispatch deadline; ``None`` resolves the heartbeat default
+        (``SECNDP_HEARTBEAT_TIMEOUT``).
+    blame_threshold:
+        Strikes before quarantine (:data:`DEFAULT_BLAME_THRESHOLD`).
+    fault_injector:
+        Optional :class:`~repro.faults.plan.FaultInjector` whose
+        :meth:`node_directive` draws ship with each dispatch (chaos
+        only; all randomness stays in one seeded coordinator-side
+        stream).
+    """
+
+    def __init__(
+        self,
+        store,
+        nodes: Sequence,
+        policy: Optional[RecoveryPolicy] = None,
+        task_timeout_s: Optional[float] = None,
+        blame_threshold: int = DEFAULT_BLAME_THRESHOLD,
+        fault_injector=None,
+    ):
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        if not store.verify:
+            raise ConfigurationError(
+                "cluster serving requires verify=True (per-shard blame "
+                "is built on tag shares)"
+            )
+        self.store = store
+        self.clients: Dict[str, NodeClient] = {}
+        for node in nodes:
+            client = (
+                node if isinstance(node, NodeClient) else NodeClient(*node)
+            )
+            if client.name in self.clients:
+                raise ConfigurationError(f"duplicate node name {client.name!r}")
+            self.clients[client.name] = client
+        self.policy = policy or RecoveryPolicy()
+        self.task_timeout_s = resolve_heartbeat_timeout(task_timeout_s)
+        self.blame_threshold = int(blame_threshold)
+        self.fault_injector = fault_injector
+        self.live: List[str] = list(self.clients)
+        self.quarantined: List[str] = []
+        self.blame_counts: Dict[str, int] = {name: 0 for name in self.clients}
+        self.shard_map: Optional[ShardMap] = None
+        self._dispatch_seq = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def setup(self) -> "ClusterCoordinator":
+        """Connect every node and ship key, params and table replicas."""
+        params = self.store.processor.params
+        key = self.store.processor.cipher.key
+        tables = {
+            name: codec.encode_table(self.store.device.stored(name))
+            for name in self.store.tables()
+        }
+        self.shard_map = ShardMap.build(
+            self.live,
+            {
+                name: self.store.device.stored(name).n_rows
+                for name in self.store.tables()
+            },
+        )
+        for name in list(self.live):
+            client = self.clients[name]
+            await client.connect()
+            await client.request(
+                "shard_assign",
+                payload={
+                    "params": codec.encode_params(params),
+                    "key": codec.encode_key(key),
+                    "tables": tables,
+                    "ranges": {
+                        t: list(r) for t, r in self.shard_map.ranges_for(name).items()
+                    },
+                },
+                timeout=self.task_timeout_s,
+            )
+        obs.emit_event(
+            obs.CLUSTER_START, nodes=list(self.live), tables=self.store.tables()
+        )
+        obs.inc("cluster.starts")
+        return self
+
+    async def close(self) -> None:
+        for name, client in self.clients.items():
+            try:
+                if name in self.live:
+                    await client.request("shutdown", timeout=self.task_timeout_s)
+            except SecNDPError:
+                pass
+            await client.close()
+        obs.emit_event(
+            obs.CLUSTER_DRAIN,
+            nodes=list(self.live),
+            quarantined=list(self.quarantined),
+        )
+
+    async def __aenter__(self) -> "ClusterCoordinator":
+        return await self.setup()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- liveness --------------------------------------------------------------
+
+    async def check_liveness(self, timeout: Optional[float] = None) -> Dict[str, bool]:
+        """Heartbeat every live node; quarantine the dead ones."""
+        timeout = resolve_heartbeat_timeout(timeout)
+        alive = {}
+        for name in list(self.live):
+            alive[name] = await self.clients[name].heartbeat(timeout=timeout)
+            if not alive[name]:
+                obs.emit_event(obs.NODE_DEAD, worker=name, probe="heartbeat")
+                obs.inc("cluster.dispatch.dead")
+                await self._blame(name, "heartbeat")
+        return alive
+
+    # -- serving ---------------------------------------------------------------
+
+    async def sls_many(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+    ) -> np.ndarray:
+        """Batched verified SLS across the cluster (bit-identical to
+        :meth:`SecureEmbeddingStore.sls_many` on one host)."""
+        entry = self.store._tables[name]
+        rows_list, weights_list = self.store._validate_batch(
+            name, batch_rows, batch_weights
+        )
+        if self.shard_map is None or not self.live:
+            # Every node is quarantined: the coordinator's own honest
+            # device serves the whole batch (still verified, still
+            # bit-identical — it IS the oracle path).
+            obs.inc("cluster.dispatch.local", len(rows_list))
+            values = self.store.sls_many(name, rows_list, weights_list)
+            obs.inc("cluster.queries", len(rows_list))
+            return values
+        # Snapshot ownership: a mid-batch quarantine rebuilds
+        # ``self.shard_map`` for *future* batches, while this batch's
+        # masks stay on the bounds its earlier dispatches used (the
+        # failed node's sub-batch is re-served with the same mask, so
+        # rows are never dropped or double-counted).
+        smap = self.shard_map
+        shares: List[PartialSumShare] = []
+        for node in list(smap.nodes):
+            masked = [
+                smap.owner_mask(name, node, rows, weights)
+                for rows, weights in zip(rows_list, weights_list)
+            ]
+            if not any(rows for rows, _ in masked):
+                continue
+            share, _served_by = await self._dispatch_with_recovery(
+                name, node, [r for r, _ in masked], [w for _, w in masked]
+            )
+            shares.append(share)
+        enc = self.store.device.stored(name)
+        # Every share already passed its per-shard check during the
+        # ladder; the combined check (per_shard=False) still runs for
+        # the cross-shard overflow case.
+        results = self.store.processor.finalize_row_sum_batch(
+            enc, name, shares, verify=True, per_shard=False
+        )
+        out = np.zeros((len(rows_list), entry.dim))
+        for i, (result, weights) in enumerate(zip(results, weights_list)):
+            out[i] = self.store._affine(entry, result.values, weights)
+        obs.inc("cluster.queries", len(rows_list))
+        return out
+
+    async def sls(self, name, rows, weights=None) -> np.ndarray:
+        out = await self.sls_many(
+            name, [rows], None if weights is None else [weights]
+        )
+        return out[0]
+
+    # -- the node-level recovery ladder ----------------------------------------
+
+    async def _dispatch_with_recovery(
+        self,
+        name: str,
+        node: str,
+        batch_rows: List[List[int]],
+        batch_weights: List[List[int]],
+    ) -> Tuple[PartialSumShare, str]:
+        """Serve one node's sub-batch through the ladder.
+
+        Returns ``(verified share, label of who served it)``.  Rungs:
+        bounded same-node retry -> healthy replica -> trusted local
+        recompute.  Raises :class:`RecoveryExhaustedError` only if even
+        the local path fails (it cannot, short of a corrupted local
+        device — which the store's own ladder handles).
+        """
+        self._dispatch_seq += 1
+        dispatch = self._dispatch_seq
+        salt = hash(node) & 0x7FFFFFFF
+        tried: List[str] = []
+        # A node quarantined earlier in this same batch skips straight to
+        # a healthy replica (its mask is still this dispatch's row set).
+        target: Optional[str] = (
+            node if node in self.live else next(iter(self.live), None)
+        )
+        attempt = 0
+        while True:
+            if target is None:
+                return self._local_share(name, node, batch_rows, batch_weights)
+            try:
+                share = await self._dispatch_once(
+                    name, target, batch_rows, batch_weights, dispatch
+                )
+                obs.inc("cluster.dispatch.ok")
+                if target != node:
+                    obs.inc("cluster.failovers")
+                    obs.inc("cluster.dispatch.failover")
+                return share, target
+            except ShardVerificationError as exc:
+                obs.inc("cluster.blame")
+                obs.inc("cluster.dispatch.blamed")
+                obs.emit_event(
+                    obs.NODE_BLAME,
+                    table=name,
+                    worker=target,
+                    queries=list(exc.queries),
+                    dispatch=dispatch,
+                )
+                await self._blame(target, f"dispatch:{dispatch}")
+            except PeerTimeoutError:
+                obs.inc("cluster.dispatch.timeout")
+                obs.emit_event(
+                    obs.NODE_TIMEOUT, table=name, worker=target, dispatch=dispatch
+                )
+                await self._blame(target, f"dispatch:{dispatch}")
+            except (ServerClosedError, ConnectionError, OSError):
+                obs.inc("cluster.dispatch.dead")
+                obs.emit_event(
+                    obs.NODE_DEAD, table=name, worker=target, dispatch=dispatch
+                )
+                await self._blame(target, f"dispatch:{dispatch}")
+            tried.append(target)
+            # Rung 1: bounded retry against the same node (unless it was
+            # just quarantined) with deterministic backoff+jitter.
+            if target in self.live and attempt < self.policy.max_retries:
+                await asyncio.sleep(self.policy.backoff_s(attempt, salt))
+                attempt += 1
+                obs.inc("cluster.dispatch.retry")
+                continue
+            # Rung 2: a healthy replica (full replication makes every
+            # live node a replica for any row range).
+            attempt = 0
+            target = next(
+                (n for n in self.live if n not in tried), None
+            )
+
+    async def _dispatch_once(
+        self,
+        name: str,
+        node: str,
+        batch_rows: List[List[int]],
+        batch_weights: List[List[int]],
+        dispatch: int,
+    ) -> PartialSumShare:
+        obs.inc("cluster.dispatches")
+        payload = codec.encode_queries(batch_rows, batch_weights)
+        if self.fault_injector is not None:
+            directive = self.fault_injector.node_directive(f"node:{node}")
+            if directive is not None:
+                payload["directive"] = list(directive)
+        response = await self.clients[node].request(
+            "partial_sum", table=name, payload=payload,
+            timeout=self.task_timeout_s,
+        )
+        share = codec.decode_share(
+            response.payload.get("share", {}), self.store.processor.params
+        )
+        n_q, n_cols = len(batch_rows), self.store.device.stored(name).ciphertext.shape[1]
+        if share.values.shape != (n_q, n_cols) or share.tag_shares is None:
+            raise ShardVerificationError(
+                f"malformed share from node {node!r}: shape "
+                f"{share.values.shape} (want {(n_q, n_cols)})",
+                shard=node,
+                queries=range(n_q),
+            )
+        # The crypto core: this node's share must satisfy its own
+        # restricted checksum before it may enter the combine.
+        self.store.processor.verify_partial_share(
+            self.store.device.stored(name), name, share, shard=node
+        )
+        return share
+
+    def _local_share(
+        self,
+        name: str,
+        node: str,
+        batch_rows: List[List[int]],
+        batch_weights: List[List[int]],
+    ) -> Tuple[PartialSumShare, str]:
+        """Rung 3: trusted recompute on the coordinator's own device."""
+        obs.inc("cluster.dispatch.local")
+        obs.inc("cluster.failovers")
+        obs.emit_event(
+            obs.RECOVERY_FALLBACK,
+            table=name,
+            worker=node,
+            scope="cluster",
+            queries=len(batch_rows),
+        )
+        share = self.store.processor.partial_row_sum_batch(
+            self.store.device, name, batch_rows, batch_weights,
+            with_tag_shares=True,
+        )
+        try:
+            self.store.processor.verify_partial_share(
+                self.store.device.stored(name), name, share, shard="local"
+            )
+        except ShardVerificationError as exc:
+            raise RecoveryExhaustedError(
+                f"trusted local recompute failed verification for {name!r}: "
+                f"{exc} (local device corrupted?)"
+            ) from exc
+        return share, "local"
+
+    # -- blame / quarantine / re-shard -----------------------------------------
+
+    async def _blame(self, node: str, context: str) -> None:
+        self.blame_counts[node] = self.blame_counts.get(node, 0) + 1
+        if node in self.live and self.blame_counts[node] >= self.blame_threshold:
+            await self._quarantine(node, context)
+
+    async def _quarantine(self, node: str, context: str) -> None:
+        self.live.remove(node)
+        self.quarantined.append(node)
+        obs.inc("cluster.quarantines")
+        obs.emit_event(
+            obs.NODE_QUARANTINE,
+            worker=node,
+            strikes=self.blame_counts[node],
+            context=context,
+            remaining=list(self.live),
+        )
+        await self._reshard()
+
+    async def _reshard(self) -> None:
+        """Re-own quarantined rows: new bounds over the survivors only.
+
+        Full replication means no ciphertext moves — each survivor just
+        receives its new logical ranges (tables omitted = keep replica).
+        """
+        if not self.live:
+            # Last node gone: the coordinator's local device serves
+            # everything (rung 3) until nodes come back.
+            self.shard_map = None
+            obs.emit_event(obs.NODE_RESHARD, nodes=[], drained=True)
+            return
+        self.shard_map = ShardMap.build(
+            self.live,
+            {
+                name: self.store.device.stored(name).n_rows
+                for name in self.store.tables()
+            },
+        )
+        params = self.store.processor.params
+        key = self.store.processor.cipher.key
+        for name in list(self.live):
+            try:
+                await self.clients[name].request(
+                    "shard_assign",
+                    payload={
+                        "params": codec.encode_params(params),
+                        "key": codec.encode_key(key),
+                        "ranges": {
+                            t: list(r)
+                            for t, r in self.shard_map.ranges_for(name).items()
+                        },
+                    },
+                    timeout=self.task_timeout_s,
+                )
+            except SecNDPError:
+                # A node that cannot take its new range is itself blamed;
+                # recursion terminates because live shrinks each time.
+                await self._blame(name, "reshard")
+        obs.inc("cluster.reshards")
+        obs.emit_event(
+            obs.NODE_RESHARD,
+            nodes=list(self.live),
+            quarantined=list(self.quarantined),
+        )
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "live": list(self.live),
+            "quarantined": list(self.quarantined),
+            "blame_counts": dict(self.blame_counts),
+        }

@@ -1,0 +1,142 @@
+"""Cross-host shard health: merge journals, rank blame, track quarantine.
+
+Every coordinator (and every node with auditing enabled) writes its own
+JSONL journal via :mod:`repro.obs.events`.  This module turns any number
+of those per-host streams into one blame-ranked view:
+
+* :func:`merge_event_streams` — a deterministic merge of N journals
+  (ordered by wall-clock ``ts``, then ``(pid, seq)`` to break ties),
+  tolerant of torn tails like :func:`repro.obs.events.read_events`.
+* :func:`blame_ranking` — per-node strike totals from the typed
+  ``node_blame`` / ``node_timeout`` / ``node_dead`` events, weighted so
+  cryptographic evidence (a forged tag share) outranks liveness
+  circumstantial evidence.
+* :class:`ClusterHealth` — the merged verdict: ranking, quarantined
+  set, re-shard history, and a terminal-width report.
+
+``store.load_quarantine_journal`` keeps handling the *row*-level state;
+this is the *node*-level record layered on the same journal files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..obs.events import (
+    NODE_BLAME,
+    NODE_DEAD,
+    NODE_QUARANTINE,
+    NODE_RESHARD,
+    NODE_TIMEOUT,
+    SecurityEvent,
+    read_events,
+)
+
+__all__ = [
+    "merge_event_streams",
+    "blame_ranking",
+    "ClusterHealth",
+    "BLAME_WEIGHTS",
+]
+
+#: Strike weight per event kind: a forged share is cryptographic proof
+#: of misbehaviour; a missed deadline or dropped connection is
+#: circumstantial (congestion, partition) and weighs less.
+BLAME_WEIGHTS: Dict[str, float] = {
+    NODE_BLAME: 3.0,
+    NODE_DEAD: 2.0,
+    NODE_TIMEOUT: 1.0,
+}
+
+
+def merge_event_streams(
+    sources: Sequence[Union[str, Path, Iterable[SecurityEvent]]],
+) -> List[SecurityEvent]:
+    """Merge per-host journals into one deterministically ordered stream.
+
+    Each source is a JSONL path (loaded leniently) or an already-loaded
+    event iterable.  Events sort by ``ts`` first — cross-host ordering —
+    with ``(pid, seq)`` breaking same-timestamp ties so the merge is
+    stable and replayable.
+    """
+    merged: List[SecurityEvent] = []
+    for source in sources:
+        if isinstance(source, (str, Path)):
+            merged.extend(read_events(source))
+        else:
+            merged.extend(source)
+    merged.sort(key=lambda e: (e.ts, e.pid, e.seq))
+    return merged
+
+
+def blame_ranking(
+    events: Iterable[SecurityEvent],
+) -> List[Tuple[str, float]]:
+    """``[(node, weighted strikes), ...]`` ranked worst-first.
+
+    Ties break alphabetically so the ranking is deterministic across
+    runs and merge orders.
+    """
+    scores: Dict[str, float] = {}
+    for event in events:
+        weight = BLAME_WEIGHTS.get(event.kind)
+        if weight is None or event.worker is None:
+            continue
+        node = str(event.worker)
+        scores[node] = scores.get(node, 0.0) + weight
+    return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+@dataclass
+class ClusterHealth:
+    """The node-level verdict reconstructed from merged journals."""
+
+    ranking: List[Tuple[str, float]] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    reshards: int = 0
+    counts_by_kind: Dict[str, int] = field(default_factory=dict)
+    events: int = 0
+
+    @classmethod
+    def from_events(cls, events: Iterable[SecurityEvent]) -> "ClusterHealth":
+        events = list(events)
+        quarantined: List[str] = []
+        reshards = 0
+        counts: Dict[str, int] = {}
+        for event in events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+            if event.kind == NODE_QUARANTINE and event.worker is not None:
+                node = str(event.worker)
+                if node not in quarantined:
+                    quarantined.append(node)
+            elif event.kind == NODE_RESHARD:
+                reshards += 1
+        return cls(
+            ranking=blame_ranking(events),
+            quarantined=quarantined,
+            reshards=reshards,
+            counts_by_kind=dict(sorted(counts.items())),
+            events=len(events),
+        )
+
+    @classmethod
+    def from_journals(
+        cls, paths: Sequence[Union[str, Path]]
+    ) -> "ClusterHealth":
+        return cls.from_events(merge_event_streams(paths))
+
+    def render(self) -> str:
+        lines = [
+            "cluster health (merged journals)",
+            f"  events: {self.events}  reshards: {self.reshards}",
+            f"  quarantined: {', '.join(self.quarantined) or '-'}",
+            "  blame ranking (weighted strikes):",
+        ]
+        if not self.ranking:
+            lines.append("    (no blame events)")
+        for node, score in self.ranking:
+            mark = " [quarantined]" if node in self.quarantined else ""
+            lines.append(f"    {node:<16} {score:8.1f}{mark}")
+        return "\n".join(lines)

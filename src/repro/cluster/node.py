@@ -1,0 +1,336 @@
+"""One "NDP node": a TCP server computing partial sums over a replica.
+
+A node is a trusted-side worker process on an (assumed) separate host:
+it receives the processor key, scheme params and full encrypted tables
+in one ``shard_assign`` frame, then answers ``partial_sum`` requests by
+running :meth:`~repro.core.protocol.SecNDPProcessor.partial_row_sum_batch`
+over its local :class:`~repro.core.protocol.UntrustedNdpDevice` replica.
+Row-range *ownership* is purely logical (the coordinator masks each
+query to the owner's rows before dispatch), so re-sharding after a
+quarantine moves no data — any live node can stand in for any other.
+
+Fault obedience: chaos runs ship a ``directive`` inside ``partial_sum``
+payloads (decided coordinator-side by
+:meth:`~repro.faults.plan.FaultInjector.node_directive`, keeping all
+randomness in one seeded stream).  ``byzantine`` forges the tag shares,
+``slow`` sleeps past the deadline, ``partition`` swallows the request,
+``dead`` kills the node — each exercising one rung of the coordinator's
+blame/failover ladder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Set
+
+from .. import obs
+from ..core.protocol import SecNDPProcessor, UntrustedNdpDevice
+from ..errors import ConfigurationError, PeerTimeoutError, SecNDPError, ServerClosedError
+from ..serve.protocol import (
+    STATUS_ERROR,
+    STATUS_OK,
+    FrameError,
+    NodeRequest,
+    NodeResponse,
+    read_frame,
+    resolve_codec,
+    write_frame,
+)
+from . import codec
+
+__all__ = ["NodeServer", "NodeClient"]
+
+
+class NodeServer:
+    """Serve cluster frames for one NDP node (``port=0`` = ephemeral)."""
+
+    def __init__(self, name: str, host: str = "127.0.0.1", port: int = 0):
+        self.name = name
+        self.host = host
+        self.port = port
+        self._codec = resolve_codec("json")
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._processor: Optional[SecNDPProcessor] = None
+        self._device: Optional[UntrustedNdpDevice] = None
+        self._range: Dict[str, Any] = {}
+        self._closed = False
+        self._stop = asyncio.Event()
+        self._conn_tasks: Set["asyncio.Task"] = set()
+        self._conn_writers: Set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "NodeServer":
+        if self._server is not None:
+            return self
+        if self._closed:
+            raise ConfigurationError("node server is closed")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        obs.inc("cluster.node.starts")
+        return self
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Abort live connections so their handler tasks finish on their
+        # own (cancelling them makes 3.11's streams callback log noise),
+        # then wait for every handler except the one calling us.
+        for writer in list(self._conn_writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        me = asyncio.current_task()
+        pending = [t for t in self._conn_tasks if t is not me and not t.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`close` (or a ``dead`` directive) fires."""
+        await self._stop.wait()
+
+    async def __aenter__(self) -> "NodeServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- frame handling --------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                try:
+                    obj = await read_frame(reader)
+                except FrameError:
+                    break
+                if obj is None:
+                    break
+                try:
+                    request = NodeRequest.from_wire(obj)
+                except FrameError as exc:
+                    rid = obj.get("id", 0) if isinstance(obj, dict) else 0
+                    await self._write(
+                        writer,
+                        NodeResponse(
+                            id=int(rid), status=STATUS_ERROR,
+                            error=str(exc), kind="FrameError",
+                        ),
+                    )
+                    continue
+                response = await self._serve_one(request, writer)
+                if response is None:  # partitioned / dead: no answer
+                    continue
+                await self._write(writer, response)
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, response: NodeResponse
+    ) -> None:
+        try:
+            await write_frame(writer, response.to_wire(), self._codec)
+        except (ConnectionError, OSError):
+            obs.inc("cluster.node.write_errors")
+
+    async def _serve_one(
+        self, request: NodeRequest, writer: asyncio.StreamWriter
+    ) -> Optional[NodeResponse]:
+        try:
+            if request.op == "heartbeat":
+                return NodeResponse(
+                    id=request.id, status=STATUS_OK,
+                    payload={"node": self.name, "tables": sorted(self._range)},
+                )
+            if request.op == "shard_assign":
+                return self._assign(request)
+            if request.op == "partial_sum":
+                return await self._partial_sum(request, writer)
+            if request.op == "shutdown":
+                asyncio.get_running_loop().call_soon(self._stop.set)
+                return NodeResponse(
+                    id=request.id, status=STATUS_OK, payload={"node": self.name}
+                )
+            raise ConfigurationError(f"unhandled node op {request.op!r}")
+        except SecNDPError as exc:
+            return NodeResponse(
+                id=request.id, status=STATUS_ERROR,
+                error=str(exc), kind=type(exc).__name__,
+            )
+
+    def _assign(self, request: NodeRequest) -> NodeResponse:
+        payload = request.payload
+        params = codec.decode_params(payload.get("params", {}))
+        key = codec.decode_key(payload.get("key", ""))
+        # Fresh parties per assignment: a re-assignment (after re-shard)
+        # that only updates ranges sends no tables and keeps the replica.
+        tables = payload.get("tables") or {}
+        if tables or self._processor is None:
+            self._processor = SecNDPProcessor(key, params)
+            self._device = UntrustedNdpDevice(params)
+        for name, blob in tables.items():
+            self._device.store(name, codec.decode_table(blob, params))
+        self._range = dict(payload.get("ranges") or {})
+        obs.inc("cluster.node.assigns")
+        return NodeResponse(
+            id=request.id,
+            status=STATUS_OK,
+            payload={"node": self.name, "tables": sorted(self._range)},
+        )
+
+    async def _partial_sum(
+        self, request: NodeRequest, writer: asyncio.StreamWriter
+    ) -> Optional[NodeResponse]:
+        if self._processor is None or self._device is None:
+            raise ConfigurationError(
+                f"node {self.name!r} has no shard assignment yet"
+            )
+        directive = request.payload.get("directive")
+        if directive:
+            kind = directive[0]
+            if kind == "partition":
+                obs.inc("cluster.node.partitioned")
+                return None
+            if kind == "dead":
+                # Simulated host death: drop the connection mid-request
+                # and stop serving; the coordinator sees a dead peer.
+                obs.inc("cluster.node.died")
+                writer.close()
+                await self.close()
+                self._stop.set()
+                return None
+            if kind == "slow":
+                await asyncio.sleep(float(directive[1]))
+        batch_rows, batch_weights = codec.decode_queries(request.payload)
+        name = request.table or ""
+        share = self._processor.partial_row_sum_batch(
+            self._device, name, batch_rows, batch_weights, with_tag_shares=True
+        )
+        if directive and directive[0] == "byzantine":
+            # Forge every served query's tag share; the coordinator's
+            # per-shard check must blame exactly this node.
+            obs.inc("cluster.node.byzantine")
+            field = self._processor.field
+            share.tag_shares = [
+                field.add(t, 1) if rows else t
+                for t, rows in zip(share.tag_shares, batch_rows)
+            ]
+        obs.inc("cluster.node.partials")
+        return NodeResponse(
+            id=request.id,
+            status=STATUS_OK,
+            payload={"node": self.name, "share": codec.encode_share(share)},
+        )
+
+
+class NodeClient:
+    """Coordinator-side handle for one node connection.
+
+    Single in-flight request per node (the coordinator fans out across
+    nodes, not within one), so the read path is a plain awaited frame —
+    no pending-future machinery.  A missed deadline raises
+    :class:`~repro.errors.PeerTimeoutError`; a dropped connection
+    :class:`~repro.errors.ServerClosedError`.  The coordinator's ladder
+    owns all retry/failover decisions, so this client never reconnects.
+    """
+
+    def __init__(self, name: str, host: str, port: int):
+        self.name = name
+        self.host = host
+        self.port = port
+        self._codec = resolve_codec("json")
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    async def connect(self) -> "NodeClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    async def request(
+        self,
+        op: str,
+        table: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> NodeResponse:
+        request = NodeRequest(
+            id=self._new_id(), op=op, table=table, payload=payload or {}
+        )
+        async with self._lock:
+            if self._writer is None:
+                await self.connect()
+            try:
+                await write_frame(self._writer, request.to_wire(), self._codec)
+                obj = await asyncio.wait_for(read_frame(self._reader), timeout)
+            except asyncio.TimeoutError:
+                # The stale response could still arrive and desync the
+                # request/response pairing; drop the connection so the
+                # next request starts on a fresh stream.
+                await self.close()
+                raise PeerTimeoutError(
+                    f"node {self.name!r} missed its {timeout}s deadline for "
+                    f"{op!r}"
+                ) from None
+            except (ConnectionError, OSError) as exc:
+                await self.close()
+                raise ServerClosedError(
+                    f"node {self.name!r} connection lost: {exc}"
+                ) from exc
+        if obj is None:
+            raise ServerClosedError(
+                f"node {self.name!r} closed the connection before answering"
+            )
+        response = NodeResponse.from_wire(obj)
+        if response.status != STATUS_OK:
+            exc_cls = ConfigurationError
+            raise exc_cls(
+                f"node {self.name!r} error ({response.kind}): {response.error}"
+            )
+        return response
+
+    async def heartbeat(self, timeout: Optional[float] = None) -> bool:
+        try:
+            await self.request("heartbeat", timeout=timeout)
+        except SecNDPError:
+            return False
+        return True

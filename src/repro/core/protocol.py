@@ -31,7 +31,7 @@ import numpy as np
 from .. import obs
 from ..crypto import limb_field
 from ..crypto.tweaked import TweakedCipher
-from ..errors import ConfigurationError, VerificationError
+from ..errors import ConfigurationError, ShardVerificationError, VerificationError
 from ..faults import hooks as fault_hooks
 from .checksum import LinearChecksum, MultiPointChecksum
 from .encryption import ArithmeticEncryptor, EncryptedMatrix
@@ -488,12 +488,80 @@ class SecNDPProcessor:
                     tag_shares[q] = self.field.add(c_t_res, e_t_res)
         return PartialSumShare(values=values, tag_shares=tag_shares)
 
+    def failed_share_queries(
+        self,
+        enc: EncryptedMatrix,
+        name: str,
+        part: PartialSumShare,
+        key=None,
+    ) -> List[int]:
+        """Batch-local query indices whose tag share fails *this* shard.
+
+        The checksum is linear with no affine term (``T = sum_j P_j *
+        s^(m-j)``), so its restriction to one shard's row partition is
+        an exact identity of its own: shard ``s``'s combined tag share
+        ``C_T_res + E_T_res`` over the rows it served must equal
+        ``result_tag`` of its decrypted partial values.  A mismatch
+        therefore blames this shard specifically — no other shard's
+        share enters the check.  Subject to the same per-query forgery
+        bound (``m/q``) and ring-overflow caveat as the combined check;
+        a *whole-query* overflow splits across shards and is only
+        visible to the combined identity, which is why
+        :meth:`finalize_row_sum_batch` keeps checking totals even when
+        per-shard checks ran.
+        """
+        if part.tag_shares is None:
+            raise VerificationError(
+                "partial share carries no tag shares; recompute with "
+                "with_tag_shares=True to verify"
+            )
+        if enc.tags is None or enc.checksum_version is None:
+            raise VerificationError(
+                f"matrix {name!r} was encrypted without verification tags"
+            )
+        if key is None:
+            key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
+        failed: List[int] = []
+        with obs.span("protocol.shard_verify"):
+            for q in range(part.values.shape[0]):
+                if part.tag_shares[q] != self.checksum.result_tag(
+                    part.values[q], key
+                ):
+                    failed.append(q)
+        if failed:
+            obs.inc("protocol.shard_verify.failures", len(failed))
+        return failed
+
+    def verify_partial_share(
+        self,
+        enc: EncryptedMatrix,
+        name: str,
+        part: PartialSumShare,
+        key=None,
+        shard=None,
+    ) -> None:
+        """Raise :class:`ShardVerificationError` if ``part`` fails its check.
+
+        The raising twin of :meth:`failed_share_queries` for callers that
+        want the Alg. 5 abort semantics with blame attached.
+        """
+        failed = self.failed_share_queries(enc, name, part, key=key)
+        if failed:
+            raise ShardVerificationError(
+                f"tag share mismatch for shard {shard!r} on {name!r}: "
+                f"queries {failed} (tampering, replay, or a forged share)",
+                shard=shard,
+                queries=failed,
+            )
+
     def finalize_row_sum_batch(
         self,
         enc: EncryptedMatrix,
         name: str,
         partials: Sequence[PartialSumShare],
         verify: bool = True,
+        per_shard: bool = False,
+        shard_labels: Optional[Sequence] = None,
     ) -> List[WeightedSumResult]:
         """Combine shard shares into verified results (trusted side).
 
@@ -503,13 +571,19 @@ class SecNDPProcessor:
         structures are exact modular arithmetic, the totals — and hence
         the verification outcome — are bit-identical to
         :meth:`weighted_row_sum_batch` on the unsharded queries.
+
+        With ``per_shard=True`` every share is first verified against
+        its *own* restricted checksum (see :meth:`failed_share_queries`),
+        raising :class:`ShardVerificationError` naming the offending
+        shard (``shard_labels[i]`` when given, else the shard's index).
+        The combined check still runs afterwards: per-shard identities
+        are exact over residues, but a whole-query integer overflow of
+        ``2^w_e`` (Thm. A.2) splits across shards and only breaks the
+        recombined identity.
         """
         partials = list(partials)
         if not partials:
             return []
-        res = partials[0].values
-        for part in partials[1:]:
-            res = self.ring.add(res, part.values)
         key = None
         if verify:
             if enc.tags is None or enc.checksum_version is None:
@@ -517,6 +591,15 @@ class SecNDPProcessor:
                     f"matrix {name!r} was encrypted without verification tags"
                 )
             key = self.checksum.key_for(enc.base_addr, enc.checksum_version)
+            if per_shard:
+                for s, part in enumerate(partials):
+                    label = shard_labels[s] if shard_labels is not None else s
+                    self.verify_partial_share(
+                        enc, name, part, key=key, shard=label
+                    )
+        res = partials[0].values
+        for part in partials[1:]:
+            res = self.ring.add(res, part.values)
         results: List[WeightedSumResult] = []
         for q in range(res.shape[0]):
             values = res[q]

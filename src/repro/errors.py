@@ -5,12 +5,14 @@ from __future__ import annotations
 __all__ = [
     "SecNDPError",
     "VerificationError",
+    "ShardVerificationError",
     "VersionReuseError",
     "VersionBudgetError",
     "ConfigurationError",
     "RecoveryExhaustedError",
     "OverloadedError",
     "ServerClosedError",
+    "PeerTimeoutError",
 ]
 
 
@@ -28,6 +30,24 @@ class VerificationError(SecNDPError):
     In the hardware design this corresponds to the verification-failure
     interrupt of Sec. V-E3.
     """
+
+
+class ShardVerificationError(VerificationError):
+    """A single shard's tag share failed its per-shard checksum.
+
+    The linear checksum restricted to one shard's row partition is itself
+    an exact identity, so checking every :class:`PartialSumShare` before
+    ring-combining localises a failure to the shard that produced it —
+    the publicly-identifiable-abort property the cluster tier's blame
+    assignment builds on.  ``shard`` names the offending shard (a worker
+    id or node name) and ``queries`` lists the batch-local query indices
+    whose shares failed.
+    """
+
+    def __init__(self, message: str, shard=None, queries=()):
+        super().__init__(message)
+        self.shard = shard
+        self.queries = tuple(queries)
 
 
 class VersionReuseError(SecNDPError):
@@ -75,6 +95,17 @@ class ServerClosedError(SecNDPError):
     server accepted the connection but is completing in-flight batches
     and rejecting new work) or when the connection drops before a
     response arrives.
+    """
+
+
+class PeerTimeoutError(SecNDPError):
+    """A peer (server or cluster node) missed its liveness deadline.
+
+    Raised client-side when a request or heartbeat gets no response frame
+    within the configured timeout (``SECNDP_HEARTBEAT_TIMEOUT`` /
+    ``SECNDP_TASK_TIMEOUT``-style config).  The peer may be slow, dead or
+    partitioned; the cluster tier treats it as a blameable liveness fault
+    and fails over to a replica or the trusted recompute path.
     """
 
 

@@ -33,6 +33,7 @@ from .hooks import (
 )
 from .plan import (
     MEMORY_FAULTS,
+    NODE_FAULTS,
     PRESET_PLANS,
     TRANSIENT_FAULTS,
     WORKER_FAULTS,
@@ -52,6 +53,7 @@ __all__ = [
     "MEMORY_FAULTS",
     "TRANSIENT_FAULTS",
     "WORKER_FAULTS",
+    "NODE_FAULTS",
     "ENV_FAULT_PLAN",
     "install",
     "clear",

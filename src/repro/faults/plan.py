@@ -27,6 +27,10 @@ kind                      models
 ``worker_crash``          a serving worker process dying mid-task
 ``worker_raise``          a serving worker task failing with an exception
 ``worker_hang``           a serving worker task hanging past its deadline
+``node_byzantine``        a cluster NDP node returning a forged tag share
+``node_slow``             a cluster node answering past its deadline
+``node_dead``             a cluster node process dying mid-run
+``node_partition``        a cluster node unreachable (network partition)
 ========================  =====================================================
 
 All of the memory/compute kinds are *tag-covered*: any of them that
@@ -58,6 +62,7 @@ __all__ = [
     "MEMORY_FAULTS",
     "TRANSIENT_FAULTS",
     "WORKER_FAULTS",
+    "NODE_FAULTS",
 ]
 
 
@@ -75,6 +80,10 @@ class FaultKind(str, Enum):
     WORKER_CRASH = "worker_crash"
     WORKER_RAISE = "worker_raise"
     WORKER_HANG = "worker_hang"
+    NODE_BYZANTINE = "node_byzantine"
+    NODE_SLOW = "node_slow"
+    NODE_DEAD = "node_dead"
+    NODE_PARTITION = "node_partition"
 
 
 #: Persistent corruptions of untrusted memory, applied to a device's
@@ -93,6 +102,17 @@ WORKER_FAULTS = (
     FaultKind.WORKER_CRASH,
     FaultKind.WORKER_RAISE,
     FaultKind.WORKER_HANG,
+)
+
+#: Faults against cluster NDP node processes (DESIGN.md Sec. 16).  Only
+#: ``node_byzantine`` is a data fault (tag-covered: the coordinator's
+#: per-shard check must catch it with probability 1 up to m/q); the rest
+#: exercise the blame/quarantine/re-shard liveness ladder.
+NODE_FAULTS = (
+    FaultKind.NODE_BYZANTINE,
+    FaultKind.NODE_SLOW,
+    FaultKind.NODE_DEAD,
+    FaultKind.NODE_PARTITION,
 )
 
 
@@ -208,6 +228,19 @@ PRESET_PLANS: Dict[str, FaultPlan] = {
             FaultKind.RESULT_SKEW: 0.05,
             FaultKind.TAG_TAMPER: 0.02,
         },
+    ),
+    "chaos-cluster": FaultPlan(
+        # The ISSUE-10 acceptance scenario: per-node tag tampering and
+        # node kills at 1e-3; blame precision/recall must be 1.0 and
+        # every answer bit-identical to the single-host oracle.
+        name="chaos-cluster",
+        seed=1022,
+        rates={
+            FaultKind.NODE_BYZANTINE: 1e-3,
+            FaultKind.NODE_DEAD: 1e-3,
+            FaultKind.NODE_SLOW: 5e-4,
+        },
+        delay_s=0.02,
     ),
 }
 
@@ -425,6 +458,31 @@ class FaultInjector:
             return ("raise",)
         if self.decide(FaultKind.WORKER_HANG, site):
             return ("hang", self.plan.delay_s)
+        return None
+
+    # -- node faults (cluster tier) ---------------------------------------------
+
+    def node_directive(self, site: str) -> Optional[Tuple]:
+        """One cluster dispatch's fate, decided coordinator-side.
+
+        Like :meth:`worker_directive`, the single seeded stream lives on
+        the trusted coordinator and the node just obeys the directive
+        shipped in the ``partial_sum`` payload:
+
+        * ``("byzantine",)`` — node forges its tag shares (caught by the
+          per-shard check, blamed, and failed over);
+        * ``("slow", delay_s)`` — node sleeps past the deadline;
+        * ``("dead",)`` — node process exits before answering;
+        * ``("partition",)`` — node never answers this request.
+        """
+        if self.decide(FaultKind.NODE_BYZANTINE, site):
+            return ("byzantine",)
+        if self.decide(FaultKind.NODE_DEAD, site):
+            return ("dead",)
+        if self.decide(FaultKind.NODE_PARTITION, site):
+            return ("partition",)
+        if self.decide(FaultKind.NODE_SLOW, site):
+            return ("slow", self.plan.delay_s)
         return None
 
     # -- reporting --------------------------------------------------------------

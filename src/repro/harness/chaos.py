@@ -58,7 +58,14 @@ from ..workloads.secure_sls import SecureEmbeddingStore
 from ..workloads.traces import random_trace
 from .configs import ExperimentScale
 
-__all__ = ["ChaosResult", "default_chaos_plan", "run_chaos"]
+__all__ = [
+    "ChaosResult",
+    "ChaosSweepResult",
+    "default_chaos_plan",
+    "parse_sweep_spec",
+    "run_chaos",
+    "run_chaos_sweep",
+]
 
 _KEY = bytes(range(16))
 
@@ -371,3 +378,98 @@ def run_chaos(
     for kind, n in sorted(event_counts.items()):
         obs.inc(f"chaos.events.{kind}", n)
     return result
+
+def parse_sweep_spec(spec: str, points_per_decade: int = 1) -> List[float]:
+    """Parse a fault-rate grid spec into an ascending list of rates.
+
+    ``"1e-5..1e-2"`` is a log-spaced grid between the endpoints
+    (``points_per_decade`` rates per decade, endpoints included);
+    ``"1e-4,5e-4,1e-3"`` is an explicit comma list.
+    """
+    spec = spec.strip()
+    try:
+        if ".." in spec:
+            lo_s, hi_s = spec.split("..", 1)
+            lo, hi = float(lo_s), float(hi_s)
+            if lo <= 0 or hi <= 0 or hi < lo:
+                raise ValueError("sweep endpoints must be positive and ordered")
+            decades = np.log10(hi / lo)
+            num = max(2, int(round(decades * points_per_decade)) + 1)
+            rates = np.logspace(np.log10(lo), np.log10(hi), num=num)
+            return [float(r) for r in rates]
+        rates = [float(tok) for tok in spec.split(",") if tok.strip()]
+        if not rates or any(r <= 0 for r in rates):
+            raise ValueError("sweep rates must be positive")
+        return sorted(rates)
+    except ValueError as exc:
+        raise ValueError(
+            f"bad sweep spec {spec!r} (want '1e-5..1e-2' or '1e-4,1e-3'): {exc}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ChaosSweepResult:
+    """A fault-rate grid of chaos runs (``repro chaos --sweep``)."""
+
+    rates: List[float]
+    results: List[ChaosResult]
+
+    @property
+    def passed(self) -> bool:
+        """Every grid point detected and recovered everything exactly."""
+        return all(
+            r.detection_rate == 1.0 and r.recovery_rate == 1.0 and r.mismatched == 0
+            for r in self.results
+        )
+
+    def render(self) -> str:
+        header = (
+            f"{'fault rate':>12} {'exposed':>8} {'detect':>7} "
+            f"{'recover':>8} {'mismatch':>9} {'overhead':>9}  events"
+        )
+        lines = [header, "-" * len(header)]
+        for rate, res in zip(self.rates, self.results):
+            evs = ", ".join(
+                f"{k.split('.')[-1]}={v}"
+                for k, v in sorted(res.events.items())
+            ) or "-"
+            lines.append(
+                f"{rate:>12.1e} {res.exposed:>8d} {res.detection_rate:>7.3f} "
+                f"{res.recovery_rate:>8.3f} {res.mismatched:>9d} "
+                f"{res.overhead * 100:>+8.1f}%  {evs}"
+            )
+        lines.append(
+            f"sweep verdict: {'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.rates)} grid points)"
+        )
+        return "\n".join(lines)
+
+
+def run_chaos_sweep(
+    scale: ExperimentScale,
+    rates: List[float],
+    workers: int = 0,
+    seed: int = 20222,
+    **kwargs,
+) -> ChaosSweepResult:
+    """Run :func:`run_chaos` across a fault-rate grid.
+
+    Each grid point gets its own :func:`default_chaos_plan` at that rate
+    (seed offset by the grid index so points are independent draws) and
+    reports detection rate, recovery rate and latency overhead; the
+    aggregate lands in ``chaos.sweep.*`` gauges keyed by rate.
+    """
+    results: List[ChaosResult] = []
+    for i, rate in enumerate(rates):
+        plan = default_chaos_plan(rate, seed=seed + i)
+        result = run_chaos(
+            scale, plan=plan, fault_rate=rate, workers=workers, **kwargs
+        )
+        results.append(result)
+        obs.gauge(f"chaos.sweep.detection_rate.{rate:g}", result.detection_rate)
+        obs.gauge(f"chaos.sweep.recovery_rate.{rate:g}", result.recovery_rate)
+        obs.gauge(f"chaos.sweep.overhead.{rate:g}", result.overhead)
+    sweep = ChaosSweepResult(rates=list(rates), results=results)
+    obs.gauge("chaos.sweep.points", float(len(rates)))
+    obs.gauge("chaos.sweep.passed", 1.0 if sweep.passed else 0.0)
+    return sweep

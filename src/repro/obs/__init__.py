@@ -30,7 +30,14 @@ histogram/SLO/event architecture.
 
 from . import events as _events_mod
 from .events import (
+    CLUSTER_DRAIN,
+    CLUSTER_START,
     EVENT_KINDS,
+    NODE_BLAME,
+    NODE_DEAD,
+    NODE_QUARANTINE,
+    NODE_RESHARD,
+    NODE_TIMEOUT,
     POOL_DEGRADE,
     POOL_RESPAWN,
     QUARANTINE,
@@ -150,6 +157,13 @@ __all__ = [
     "SERVE_START",
     "SERVE_DRAIN",
     "SERVE_OVERLOAD",
+    "NODE_BLAME",
+    "NODE_QUARANTINE",
+    "NODE_RESHARD",
+    "NODE_TIMEOUT",
+    "NODE_DEAD",
+    "CLUSTER_START",
+    "CLUSTER_DRAIN",
     # slo + export
     "SloSpec",
     "SloStatus",

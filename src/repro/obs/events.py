@@ -67,6 +67,13 @@ __all__ = [
     "SERVE_START",
     "SERVE_DRAIN",
     "SERVE_OVERLOAD",
+    "NODE_BLAME",
+    "NODE_QUARANTINE",
+    "NODE_RESHARD",
+    "NODE_TIMEOUT",
+    "NODE_DEAD",
+    "CLUSTER_START",
+    "CLUSTER_DRAIN",
     "EVENT_KINDS",
 ]
 
@@ -90,6 +97,13 @@ TASK_FAILURE = "task_failure"              #: worker crash/hang/raise failed a d
 SERVE_START = "serve_start"                #: serving front-end began accepting
 SERVE_DRAIN = "serve_drain"                #: serving front-end drained and stopped
 SERVE_OVERLOAD = "serve_overload"          #: admission gate entered/left shedding
+NODE_BLAME = "node_blame"                  #: a shard's tag share failed its own check
+NODE_QUARANTINE = "node_quarantine"        #: a node crossed the blame threshold
+NODE_RESHARD = "node_reshard"              #: a quarantined node's rows reassigned
+NODE_TIMEOUT = "node_timeout"              #: a node missed its dispatch deadline
+NODE_DEAD = "node_dead"                    #: a node's connection is gone for good
+CLUSTER_START = "cluster_start"            #: coordinator began serving a shard map
+CLUSTER_DRAIN = "cluster_drain"            #: coordinator drained and stopped
 
 EVENT_KINDS = (
     VERIFY_FAILURE,
@@ -108,6 +122,13 @@ EVENT_KINDS = (
     SERVE_START,
     SERVE_DRAIN,
     SERVE_OVERLOAD,
+    NODE_BLAME,
+    NODE_QUARANTINE,
+    NODE_RESHARD,
+    NODE_TIMEOUT,
+    NODE_DEAD,
+    CLUSTER_START,
+    CLUSTER_DRAIN,
 )
 
 

@@ -73,13 +73,17 @@ def to_prometheus(
     """
     lines: List[str] = []
 
-    # ``serve.response.<status>`` counters collapse into one labeled
-    # family so dashboards can sum/rate over statuses without knowing
-    # the status vocabulary up front.
+    # ``serve.response.<status>`` / ``cluster.dispatch.<outcome>``
+    # counters collapse into labeled families so dashboards can sum/rate
+    # over statuses without knowing the vocabulary up front.
     responses: Dict[str, int] = {}
+    dispatches: Dict[str, int] = {}
     for name, value in snap.get("counters", {}).items():
         if name.startswith("serve.response."):
             responses[name[len("serve.response."):]] = int(value)
+            continue
+        if name.startswith("cluster.dispatch."):
+            dispatches[name[len("cluster.dispatch."):]] = int(value)
             continue
         metric = f"{prefix}_{_sanitize(name)}_total"
         lines.append(f"# HELP {metric} Counter {name} from the repro.obs registry.")
@@ -95,6 +99,16 @@ def to_prometheus(
         lines.append(f"# TYPE {metric} counter")
         for status, count in sorted(responses.items()):
             lines.append(f'{metric}{{status="{_sanitize(status)}"}} {count}')
+
+    if dispatches:
+        metric = f"{prefix}_cluster_dispatches_total"
+        lines.append(
+            f"# HELP {metric} Cluster shard dispatches by outcome "
+            f"(cluster.dispatch.* counters)."
+        )
+        lines.append(f"# TYPE {metric} counter")
+        for outcome, count in sorted(dispatches.items()):
+            lines.append(f'{metric}{{outcome="{_sanitize(outcome)}"}} {count}')
 
     for name, value in snap.get("gauges", {}).items():
         metric = f"{prefix}_{_sanitize(name)}"

@@ -92,6 +92,24 @@ RATIO_ALIASES: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
         ("serve.errors",),
         ("serve.requests",),
     ),
+    # Cluster tier: shard dispatches whose tag share failed its own
+    # per-shard check (blame assigned to a node), per dispatch.
+    "cluster.blame_rate": (
+        ("cluster.blame",),
+        ("cluster.dispatches",),
+    ),
+    # Cluster tier: dispatches answered by a replica or the trusted
+    # recompute path instead of the assigned node, per dispatch.
+    "cluster.failover_rate": (
+        ("cluster.failovers",),
+        ("cluster.dispatches",),
+    ),
+    # Cluster tier: nodes quarantined per dispatch (sustained nonzero
+    # means the cluster is shrinking under byzantine pressure).
+    "cluster.quarantine_rate": (
+        ("cluster.quarantines",),
+        ("cluster.dispatches",),
+    ),
 }
 
 _UNIT_NS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}

@@ -610,6 +610,7 @@ class ParallelSlsEngine:
                 return store.sls_many(name, batch_rows, batch_weights)
 
         partials: List[PartialSumShare] = []
+        shard_labels: List[int] = []
         for wid, values, tag_shares, snap, events, cache in payloads:
             if snap is not None:
                 obs.merge(snap)
@@ -617,14 +618,24 @@ class ParallelSlsEngine:
                 obs.ingest_events(events)
             self._worker_cache[wid] = cache
             partials.append(PartialSumShare(values=values, tag_shares=tag_shares))
+            shard_labels.append(wid)
 
         enc = store.device.stored(name)
         try:
+            # Per-shard verification before combining: a failed check
+            # names the worker whose share lied (ShardVerificationError,
+            # a VerificationError subclass), so the delegation event
+            # below carries blame instead of just "the batch failed".
             with obs.span("parallel.finalize"):
                 results = store.processor.finalize_row_sum_batch(
-                    enc, name, partials, verify=store.verify
+                    enc,
+                    name,
+                    partials,
+                    verify=store.verify,
+                    per_shard=store.verify,
+                    shard_labels=shard_labels,
                 )
-        except VerificationError:
+        except VerificationError as exc:
             if getattr(store, "recovery", None) is None:
                 raise
             # Sec. V-E3 interrupt on the recombined totals: hand the
@@ -637,6 +648,7 @@ class ParallelSlsEngine:
                 table=name,
                 rows=sorted({int(r) for rows in rows_list for r in rows}),
                 queries=len(rows_list),
+                shard=getattr(exc, "shard", None),
             )
             return store.sls_many(name, batch_rows, batch_weights)
         out = np.zeros((len(rows_list), entry.dim))

@@ -27,19 +27,25 @@ from .admission import DEFAULT_SERVE_SLO, AdmissionConfig, AdmissionController
 from .protocol import (
     CODEC_JSON,
     CODEC_MSGPACK,
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    ENV_HEARTBEAT_TIMEOUT,
     MAX_FRAME_BYTES,
+    NODE_OPS,
     RESPONSE_STATUSES,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_OVERLOADED,
     STATUS_SHUTTING_DOWN,
     FrameError,
+    NodeRequest,
+    NodeResponse,
     SlsRequest,
     SlsResponse,
     available_codecs,
     decode_payload,
     encode_frame,
     read_frame,
+    resolve_heartbeat_timeout,
     write_frame,
 )
 from .scheduler import DEFAULT_MAX_BATCH, BatchScheduler
@@ -55,7 +61,13 @@ __all__ = [
     "SlsServer",
     "SlsRequest",
     "SlsResponse",
+    "NodeRequest",
+    "NodeResponse",
+    "NODE_OPS",
     "FrameError",
+    "resolve_heartbeat_timeout",
+    "ENV_HEARTBEAT_TIMEOUT",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
     "available_codecs",
     "encode_frame",
     "decode_payload",

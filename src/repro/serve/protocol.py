@@ -18,18 +18,31 @@ talk to a msgpack-capable server without handshaking.
 Message schemas (plain dicts on the wire, typed dataclasses in-process):
 
 * request — ``{"id": int, "op": "sls", "table": str, "rows": [int],
-  "weights": [int] | null}``; ``op: "ping"`` carries no query fields.
+  "weights": [int] | null}``; ``op: "ping"`` / ``op: "heartbeat"``
+  carry no query fields (heartbeat answers with liveness detail).
 * response — ``{"id": int, "status": "ok" | "error" | "overloaded" |
   "shutting_down", "values": [float] | null, "error": str | null,
   "kind": str | null}`` where ``kind`` names the server-side exception
   class (``VerificationError``, ``ConfigurationError``, ...) so the
   client re-raises the typed error from :mod:`repro.errors`.
+* node request/response — the cluster tier's control+data plane over
+  the same framing (:class:`NodeRequest` / :class:`NodeResponse`):
+  ``op`` is one of :data:`NODE_OPS` and everything op-specific travels
+  in a free-form ``payload`` dict (shard assignments, partial-sum
+  shares, heartbeat liveness detail).
+
+Liveness: :func:`resolve_heartbeat_timeout` is the one place the
+dead-peer deadline comes from (``SECNDP_HEARTBEAT_TIMEOUT`` in the
+environment, mirroring ``SECNDP_TASK_TIMEOUT``), so the single-node
+client and the cluster tier time out reads identically instead of
+hanging on a dead peer.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -45,14 +58,20 @@ __all__ = [
     "STATUS_OVERLOADED",
     "STATUS_SHUTTING_DOWN",
     "RESPONSE_STATUSES",
+    "NODE_OPS",
+    "ENV_HEARTBEAT_TIMEOUT",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
     "FrameError",
     "SlsRequest",
     "SlsResponse",
+    "NodeRequest",
+    "NodeResponse",
     "available_codecs",
     "encode_frame",
     "decode_payload",
     "read_frame",
     "write_frame",
+    "resolve_heartbeat_timeout",
 ]
 
 CODEC_JSON = 1
@@ -74,6 +93,43 @@ RESPONSE_STATUSES = (
     STATUS_OVERLOADED,
     STATUS_SHUTTING_DOWN,
 )
+
+#: Cluster-tier frame ops (NodeRequest.op vocabulary): shard assignment
+#: ships a table replica + owned row range to a node, partial_sum asks
+#: for one shard's PartialSumShare over masked sub-queries, heartbeat
+#: probes liveness, shutdown drains the node.
+NODE_OPS = ("shard_assign", "partial_sum", "heartbeat", "shutdown")
+
+ENV_HEARTBEAT_TIMEOUT = "SECNDP_HEARTBEAT_TIMEOUT"
+
+#: Default liveness deadline for heartbeats and cluster dispatches; a
+#: peer that does not answer within this window is treated as dead or
+#: partitioned rather than waited on forever.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 5.0
+
+
+def resolve_heartbeat_timeout(value: Optional[float] = None) -> float:
+    """The liveness deadline in seconds (explicit > env > default).
+
+    Mirrors the ``SECNDP_TASK_TIMEOUT`` pattern of the parallel engine:
+    an explicit argument wins, otherwise ``SECNDP_HEARTBEAT_TIMEOUT``
+    from the environment, otherwise :data:`DEFAULT_HEARTBEAT_TIMEOUT_S`.
+    """
+    if value is not None:
+        timeout = float(value)
+    else:
+        raw = os.environ.get(ENV_HEARTBEAT_TIMEOUT, "").strip()
+        try:
+            timeout = float(raw) if raw else DEFAULT_HEARTBEAT_TIMEOUT_S
+        except ValueError:
+            raise ConfigurationError(
+                f"{ENV_HEARTBEAT_TIMEOUT}={raw!r} is not a number"
+            ) from None
+    if timeout <= 0:
+        raise ConfigurationError(
+            f"heartbeat timeout must be positive, got {timeout}"
+        )
+    return timeout
 
 try:  # optional dependency; JSON is the portable contract
     import msgpack as _msgpack
@@ -129,7 +185,7 @@ class SlsRequest:
         if not isinstance(obj, dict):
             raise FrameError(f"request payload must be a dict, got {type(obj).__name__}")
         op = obj.get("op", "sls")
-        if op not in ("sls", "ping"):
+        if op not in ("sls", "ping", "heartbeat"):
             raise FrameError(f"unknown request op {op!r}")
         weights = obj.get("weights")
         return cls(
@@ -159,7 +215,7 @@ class SlsResponse:
             raise FrameError(f"unknown response status {self.status!r}")
 
     def to_wire(self) -> Dict[str, Any]:
-        return {
+        wire: Dict[str, Any] = {
             "id": self.id,
             "status": self.status,
             "values": None if self.values is None else list(self.values),
@@ -167,6 +223,9 @@ class SlsResponse:
             "kind": self.kind,
             "via": self.via,
         }
+        if self.detail:
+            wire["detail"] = dict(self.detail)
+        return wire
 
     @classmethod
     def from_wire(cls, obj: Dict[str, Any]) -> "SlsResponse":
@@ -180,6 +239,86 @@ class SlsResponse:
             error=obj.get("error"),
             kind=obj.get("kind"),
             via=obj.get("via"),
+            detail=dict(obj.get("detail") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class NodeRequest:
+    """One cluster-tier control/data message (coordinator -> node).
+
+    Same framing as :class:`SlsRequest`; ``op`` comes from
+    :data:`NODE_OPS` and everything op-specific (serialized tables,
+    masked sub-queries, fault directives) travels in ``payload`` so the
+    frame vocabulary stays closed while the cluster codec evolves.
+    """
+
+    id: int
+    op: str
+    table: Optional[str] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in NODE_OPS:
+            raise FrameError(f"unknown node op {self.op!r}")
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "op": self.op,
+            "table": self.table,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: Dict[str, Any]) -> "NodeRequest":
+        if not isinstance(obj, dict):
+            raise FrameError(
+                f"node request payload must be a dict, got {type(obj).__name__}"
+            )
+        return cls(
+            id=int(obj.get("id", 0)),
+            op=str(obj.get("op", "")),
+            table=obj.get("table"),
+            payload=dict(obj.get("payload") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class NodeResponse:
+    """One node answer; op-specific results live in ``payload``."""
+
+    id: int
+    status: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    kind: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in RESPONSE_STATUSES:
+            raise FrameError(f"unknown response status {self.status!r}")
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "status": self.status,
+            "payload": self.payload,
+            "error": self.error,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: Dict[str, Any]) -> "NodeResponse":
+        if not isinstance(obj, dict):
+            raise FrameError(
+                f"node response payload must be a dict, got {type(obj).__name__}"
+            )
+        return cls(
+            id=int(obj.get("id", 0)),
+            status=str(obj.get("status", "")),
+            payload=dict(obj.get("payload") or {}),
+            error=obj.get("error"),
+            kind=obj.get("kind"),
         )
 
 

@@ -52,6 +52,7 @@ from .protocol import (
     error_response,
     read_frame,
     resolve_codec,
+    resolve_heartbeat_timeout,
     write_frame,
 )
 from .scheduler import DEFAULT_MAX_BATCH, BatchScheduler
@@ -209,8 +210,10 @@ class SlsServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
-        if request.op == "ping":
-            response = SlsResponse(id=request.id, status=STATUS_OK, via="ping")
+        if request.op in ("ping", "heartbeat"):
+            # Liveness probes bypass the scheduler entirely: a heartbeat
+            # must answer even when admission control is shedding work.
+            response = SlsResponse(id=request.id, status=STATUS_OK, via=request.op)
         else:
             response = await self.scheduler.submit(request)
         await self._safe_write(writer, write_lock, response)
@@ -248,24 +251,56 @@ def _raise_for_response(response: SlsResponse) -> SlsResponse:
 
 
 class AsyncSlsClient:
-    """One API over two transports: TCP frames or an in-process scheduler."""
+    """One API over two transports: TCP frames or an in-process scheduler.
+
+    The TCP transport reconnects transparently: when the connection
+    drops, the background reader dials the server again with capped
+    exponential backoff (``backoff_base_s * 2**attempt``, clamped to
+    ``backoff_cap_s``) and re-sends every request that never got a
+    response frame — SLS reads and liveness probes are idempotent, so a
+    duplicate submission is safe.  Only after ``max_reconnects``
+    consecutive failed dials do the in-flight futures fail with
+    :class:`~repro.errors.ServerClosedError`.
+    """
 
     def __init__(self):
         self._scheduler: Optional[BatchScheduler] = None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._codec = CODEC_JSON
-        self._pending: Dict[int, "asyncio.Future[SlsResponse]"] = {}
+        self._pending: Dict[int, "tuple[asyncio.Future[SlsResponse], SlsRequest]"] = {}
         self._reader_task: Optional[asyncio.Task] = None
         self._next_id = 0
         self._closed = False
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._allow_reconnect = True
+        self._max_reconnects = 4
+        self._backoff_base_s = 0.05
+        self._backoff_cap_s = 1.0
+        self._conn_gen = 0
+        self._reconnect_lock: Optional[asyncio.Lock] = None
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, codec: str = "json"
+        cls,
+        host: str,
+        port: int,
+        codec: str = "json",
+        reconnect: bool = True,
+        max_reconnects: int = 4,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
     ) -> "AsyncSlsClient":
         client = cls()
         client._codec = resolve_codec(codec)
+        client._host = host
+        client._port = port
+        client._allow_reconnect = bool(reconnect)
+        client._max_reconnects = int(max_reconnects)
+        client._backoff_base_s = float(backoff_base_s)
+        client._backoff_cap_s = float(backoff_cap_s)
+        client._reconnect_lock = asyncio.Lock()
         client._reader, client._writer = await asyncio.open_connection(host, port)
         client._reader_task = asyncio.ensure_future(client._read_loop())
         return client
@@ -283,51 +318,120 @@ class AsyncSlsClient:
         return self._next_id
 
     async def _read_loop(self) -> None:
-        assert self._reader is not None
-        error: Optional[BaseException] = None
-        try:
-            while True:
-                obj = await read_frame(self._reader)
-                if obj is None:
-                    break
-                response = SlsResponse.from_wire(obj)
-                future = self._pending.pop(response.id, None)
-                if future is not None and not future.done():
-                    future.set_result(response)
-        except (FrameError, ConnectionError, OSError) as exc:
-            error = exc
-        finally:
-            # Anything still pending will never be answered.
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(
-                        ServerClosedError(
-                            f"connection lost before a response arrived: {error}"
-                            if error
-                            else "connection closed before a response arrived"
-                        )
+        while True:
+            assert self._reader is not None
+            generation = self._conn_gen
+            error: Optional[BaseException] = None
+            try:
+                while True:
+                    obj = await read_frame(self._reader)
+                    if obj is None:
+                        break
+                    response = SlsResponse.from_wire(obj)
+                    entry = self._pending.pop(response.id, None)
+                    if entry is not None and not entry[0].done():
+                        entry[0].set_result(response)
+            except (FrameError, ConnectionError, OSError) as exc:
+                error = exc
+            # Reconnect even with nothing in flight: the loop must stay
+            # alive to read responses for requests sent after the drop.
+            if self._closed or not self._allow_reconnect:
+                break
+            if not await self._reconnect(generation):
+                break
+        # Anything still pending will never be answered.
+        for future, _request in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ServerClosedError(
+                        f"connection lost before a response arrived: {error}"
+                        if error
+                        else "connection closed before a response arrived"
                     )
-            self._pending.clear()
+                )
+        self._pending.clear()
+
+    async def _reconnect(self, generation: int) -> bool:
+        """Dial the server again and re-send unanswered requests.
+
+        Serialized through ``_reconnect_lock`` so the read loop and a
+        writer that hit a send error never race; if another path already
+        replaced the connection (``generation`` is stale) this is a
+        no-op success.
+        """
+        assert self._reconnect_lock is not None
+        async with self._reconnect_lock:
+            if self._closed:
+                return False
+            if self._conn_gen != generation:
+                return True  # someone else already reconnected (and re-sent)
+            assert self._host is not None and self._port is not None
+            for attempt in range(self._max_reconnects):
+                delay = min(self._backoff_base_s * (2**attempt), self._backoff_cap_s)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                if self._closed:  # close() raced the backoff sleep
+                    return False
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        self._host, self._port
+                    )
+                except (ConnectionError, OSError):
+                    obs.inc("serve.client.reconnect_failures")
+                    continue
+                old_writer = self._writer
+                self._reader, self._writer = reader, writer
+                self._conn_gen += 1
+                if old_writer is not None:
+                    old_writer.close()
+                obs.inc("serve.client.reconnects")
+                try:
+                    # Idempotent re-send: these requests were in flight
+                    # when the connection died and got no response frame.
+                    for _rid, (_future, request) in sorted(self._pending.items()):
+                        await write_frame(writer, request.to_wire(), self._codec)
+                        obs.inc("serve.client.resends")
+                except (ConnectionError, OSError):
+                    obs.inc("serve.client.reconnect_failures")
+                    continue  # fresh connection died too; dial again
+                # A write-path reconnect may find the read loop already
+                # exited (it gave up after max_reconnects); revive it so
+                # the re-sent requests get their responses read.
+                if self._reader_task is not None and self._reader_task.done():
+                    self._reader_task = asyncio.ensure_future(self._read_loop())
+                return True
+            return False
 
     async def request(self, request: SlsRequest) -> SlsResponse:
         """Send one request; return the raw typed response (no raising)."""
         if self._closed:
             raise ConfigurationError("client is closed")
         if self._scheduler is not None:
-            if request.op == "ping":
-                return SlsResponse(id=request.id, status=STATUS_OK, via="ping")
+            if request.op in ("ping", "heartbeat"):
+                return SlsResponse(id=request.id, status=STATUS_OK, via=request.op)
             return await self._scheduler.submit(request)
         if self._writer is None:
             raise ConfigurationError("client is not connected")
         future: "asyncio.Future[SlsResponse]" = (
             asyncio.get_running_loop().create_future()
         )
-        self._pending[request.id] = future
+        self._pending[request.id] = (future, request)
         try:
             await write_frame(self._writer, request.to_wire(), self._codec)
         except (ConnectionError, OSError) as exc:
-            self._pending.pop(request.id, None)
-            raise ServerClosedError(f"connection lost: {exc}") from exc
+            sent = False
+            if self._allow_reconnect and await self._reconnect(self._conn_gen):
+                try:
+                    # The reconnect sweep may have raced our ``_pending``
+                    # insert; send again ourselves — duplicates are
+                    # idempotent and the second response id is dropped.
+                    await write_frame(self._writer, request.to_wire(), self._codec)
+                    sent = True
+                except (ConnectionError, OSError):
+                    pass
+            if not sent:
+                self._pending.pop(request.id, None)
+                raise ServerClosedError(f"connection lost: {exc}") from exc
         return await future
 
     # -- public API ------------------------------------------------------------
@@ -366,12 +470,30 @@ class AsyncSlsClient:
             )
         )
 
-    async def ping(self) -> bool:
+    async def ping(self, timeout: Optional[float] = None) -> bool:
+        """Round-trip a ping frame; ``timeout`` (seconds) bounds the wait."""
+        return await self._probe("ping", timeout)
+
+    async def heartbeat(self, timeout: Optional[float] = None) -> bool:
+        """Liveness probe with a deadline.
+
+        Unlike :meth:`ping`, a missing ``timeout`` falls back to
+        ``SECNDP_HEARTBEAT_TIMEOUT`` (default
+        :data:`~repro.serve.protocol.DEFAULT_HEARTBEAT_TIMEOUT_S`), so a
+        dead or partitioned peer yields ``False`` instead of a hung read.
+        """
+        return await self._probe("heartbeat", resolve_heartbeat_timeout(timeout))
+
+    async def _probe(self, op: str, timeout: Optional[float]) -> bool:
+        request = SlsRequest(id=self._new_id(), op=op)
         try:
-            response = await self.request(
-                SlsRequest(id=self._new_id(), op="ping")
-            )
-        except SecNDPError:
+            if timeout is None:
+                response = await self.request(request)
+            else:
+                response = await asyncio.wait_for(self.request(request), timeout)
+        except (SecNDPError, asyncio.TimeoutError):
+            self._pending.pop(request.id, None)
+            obs.inc(f"serve.client.{op}_failures")
             return False
         return response.status == STATUS_OK
 
@@ -388,9 +510,12 @@ class AsyncSlsClient:
                 pass
             self._writer = None
         if self._reader_task is not None:
+            # Cancel rather than await: the loop may be mid-backoff in a
+            # reconnect attempt, which would otherwise stall the close.
+            self._reader_task.cancel()
             try:
                 await self._reader_task
-            except asyncio.CancelledError:  # pragma: no cover
+            except asyncio.CancelledError:
                 pass
             self._reader_task = None
 

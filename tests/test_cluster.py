@@ -1,0 +1,718 @@
+"""Multi-node sharded serving: per-shard blame, quarantine, failover.
+
+Covers the cluster tier end to end (DESIGN.md Sec. 16): the per-shard
+restricted-checksum check in the core protocol, the wire codec, the
+shard map, coordinator recovery ladder rungs (retry, replica failover,
+trusted local recompute), blame/quarantine/re-shard audit events,
+journal replay across restarts, the reconnecting serve client, the
+heartbeat deadline, and the chaos acceptance gates (blame precision and
+recall 1.0, bit-identical answers).
+
+No pytest-asyncio dependency: each async scenario runs under its own
+``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterHealth,
+    NodeClient,
+    NodeServer,
+    ScriptedDirectives,
+    ShardMap,
+    blame_ranking,
+    merge_event_streams,
+    run_cluster_chaos,
+    smoke_script,
+)
+from repro.cluster import codec
+from repro.core import SecNDPParams, SecNDPProcessor, UntrustedNdpDevice
+from repro.errors import (
+    ConfigurationError,
+    PeerTimeoutError,
+    ServerClosedError,
+    ShardVerificationError,
+    VerificationError,
+)
+from repro.faults.recovery import RecoveryPolicy
+from repro.serve import AsyncSlsClient, SlsServer
+from repro.serve.protocol import (
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    ENV_HEARTBEAT_TIMEOUT,
+    NodeRequest,
+    NodeResponse,
+    resolve_heartbeat_timeout,
+)
+from repro.workloads.secure_sls import SecureEmbeddingStore
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.disable_events()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.disable_events()
+
+
+def _make_store(n_rows=64, dim=8, seed=3, name="emb"):
+    params = SecNDPParams()
+    processor = SecNDPProcessor(KEY, params)
+    device = UntrustedNdpDevice(params)
+    store = SecureEmbeddingStore(processor, device)
+    rng = np.random.default_rng(seed)
+    store.add_table(name, rng.normal(size=(n_rows, dim)))
+    return store
+
+
+def _split_queries(batch_rows, batch_weights, edges):
+    """Partition queries into per-shard masks on row-range ``edges``."""
+    shards = []
+    for lo, hi in edges:
+        rows_part, weights_part = [], []
+        for rows, weights in zip(batch_rows, batch_weights):
+            rows_part.append([r for r in rows if lo <= r < hi])
+            weights_part.append(
+                [w for r, w in zip(rows, weights) if lo <= r < hi]
+            )
+        shards.append((rows_part, weights_part))
+    return shards
+
+
+class TestPerShardVerification:
+    """The crypto core: each shard's tag share is checked on its own."""
+
+    def test_honest_shards_pass_and_recombine_bit_identical(self):
+        store = _make_store()
+        proc, dev = store.processor, store.device
+        enc = dev.stored("emb")
+        batch_rows = [[1, 5, 40, 63], [0, 32], [10, 20, 30]]
+        batch_weights = [[1, 2, 1, 3], [1, 1], [2, 2, 2]]
+        oracle = proc.weighted_row_sum_batch(dev, "emb", batch_rows, batch_weights)
+        shards = _split_queries(batch_rows, batch_weights, [(0, 32), (32, 64)])
+        parts = [
+            proc.partial_row_sum_batch(dev, "emb", r, w, with_tag_shares=True)
+            for r, w in shards
+        ]
+        for part in parts:
+            assert proc.failed_share_queries(enc, "emb", part) == []
+            proc.verify_partial_share(enc, "emb", part)  # no raise
+        combined = proc.finalize_row_sum_batch(
+            enc, "emb", parts, verify=True, per_shard=True,
+            shard_labels=["a", "b"],
+        )
+        for got, want in zip(combined, oracle):
+            assert np.array_equal(got.values, want.values)
+
+    def test_forged_share_blames_exactly_that_shard(self):
+        store = _make_store()
+        proc, dev = store.processor, store.device
+        enc = dev.stored("emb")
+        batch_rows = [[1, 40], [5, 50]]
+        shards = _split_queries(
+            batch_rows, [[1, 1], [1, 1]], [(0, 32), (32, 64)]
+        )
+        parts = [
+            proc.partial_row_sum_batch(dev, "emb", r, w, with_tag_shares=True)
+            for r, w in shards
+        ]
+        parts[1].tag_shares[0] = proc.field.add(parts[1].tag_shares[0], 1)
+        # The honest shard still passes; the forged one names query 0.
+        assert proc.failed_share_queries(enc, "emb", parts[0]) == []
+        assert proc.failed_share_queries(enc, "emb", parts[1]) == [0]
+        with pytest.raises(ShardVerificationError) as exc_info:
+            proc.finalize_row_sum_batch(
+                enc, "emb", parts, verify=True, per_shard=True,
+                shard_labels=["good", "evil"],
+            )
+        assert exc_info.value.shard == "evil"
+        assert list(exc_info.value.queries) == [0]
+
+    def test_forged_values_fail_the_shard_check_too(self):
+        store = _make_store()
+        proc, dev = store.processor, store.device
+        enc = dev.stored("emb")
+        part = proc.partial_row_sum_batch(
+            dev, "emb", [[1, 2, 3]], [[1, 1, 1]], with_tag_shares=True
+        )
+        part.values[0, 0] = proc.ring.add(part.values[0, 0], np.uint64(1))
+        assert proc.failed_share_queries(enc, "emb", part) == [0]
+
+    def test_offsetting_shard_forgeries_caught_by_combined_check(self):
+        """Per-shard checks pass individually only if shares are honest;
+        a pair of forgeries that cancels in the field sum still trips the
+        per-shard identities — and value tampering that cancels across
+        shards trips the combined check, which is why finalize keeps
+        running it after per-shard passes."""
+        store = _make_store()
+        proc, dev = store.processor, store.device
+        enc = dev.stored("emb")
+        shards = _split_queries([[1, 40]], [[1, 1]], [(0, 32), (32, 64)])
+        parts = [
+            proc.partial_row_sum_batch(dev, "emb", r, w, with_tag_shares=True)
+            for r, w in shards
+        ]
+        # Offsetting *value* tampering: +1 on one shard, -1 on the other.
+        # Values cancel in the ring sum but each shard's own restricted
+        # checksum identity breaks, so per-shard verification catches it.
+        parts[0].values[0, 0] = proc.ring.add(parts[0].values[0, 0], np.uint64(1))
+        parts[1].values[0, 0] = proc.ring.sub(parts[1].values[0, 0], np.uint64(1))
+        assert proc.failed_share_queries(enc, "emb", parts[0]) == [0]
+        assert proc.failed_share_queries(enc, "emb", parts[1]) == [0]
+        with pytest.raises((ShardVerificationError, VerificationError)):
+            proc.finalize_row_sum_batch(
+                enc, "emb", parts, verify=True, per_shard=True
+            )
+
+    def test_share_without_tags_is_rejected(self):
+        store = _make_store()
+        proc, dev = store.processor, store.device
+        enc = dev.stored("emb")
+        part = proc.partial_row_sum_batch(
+            dev, "emb", [[1]], [[1]], with_tag_shares=False
+        )
+        with pytest.raises(VerificationError):
+            proc.failed_share_queries(enc, "emb", part)
+
+
+class TestShardMap:
+    def test_bounds_partition_the_row_space(self):
+        smap = ShardMap.build(["a", "b", "c"], {"emb": 100})
+        bounds = smap.bounds["emb"]
+        assert bounds[0][0] == 0 and bounds[-1][1] == 100
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_owner_mask_partitions_each_query(self):
+        smap = ShardMap.build(["a", "b"], {"emb": 10})
+        rows, weights = [0, 3, 5, 9], [1, 2, 3, 4]
+        got_rows, got_weights = [], []
+        for node in smap.nodes:
+            r, w = smap.owner_mask("emb", node, rows, weights)
+            got_rows += r
+            got_weights += w
+        assert sorted(got_rows) == rows
+        assert sorted(got_weights) == weights
+
+    def test_ranges_for_names_every_table(self):
+        smap = ShardMap.build(["a", "b"], {"x": 4, "y": 8})
+        assert set(smap.ranges_for("a")) == {"x", "y"}
+
+
+class TestClusterCodec:
+    def test_table_and_share_round_trip(self):
+        store = _make_store(n_rows=16, dim=4)
+        params = store.processor.params
+        enc = store.device.stored("emb")
+        back = codec.decode_table(codec.encode_table(enc), params)
+        assert np.array_equal(back.ciphertext, enc.ciphertext)
+        assert back.tags == enc.tags
+        share = store.processor.partial_row_sum_batch(
+            store.device, "emb", [[1, 2], []], [[1, 1], []]
+        )
+        share2 = codec.decode_share(codec.encode_share(share), params)
+        assert np.array_equal(share2.values, share.values)
+        assert share2.tag_shares == share.tag_shares
+
+    def test_params_key_queries_round_trip(self):
+        params = SecNDPParams()
+        assert codec.decode_params(codec.encode_params(params)) == params
+        assert codec.decode_key(codec.encode_key(KEY)) == KEY
+        payload = codec.encode_queries([[1, 2], [3]], [[1, 1], [5]])
+        rows, weights = codec.decode_queries(payload)
+        assert rows == [[1, 2], [3]] and weights == [[1, 1], [5]]
+
+    def test_malformed_payloads_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            codec.decode_params({"element_bits": "nope"})
+        with pytest.raises(ConfigurationError):
+            codec.decode_key("!!!not-base64!!!")
+        with pytest.raises(ConfigurationError):
+            codec.decode_queries({"batch_rows": [[1]], "batch_weights": []})
+
+
+def _batches(n_rows, n_batches=4, batch=3, seed=5):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n_batches):
+        rows = [
+            sorted(
+                int(r)
+                for r in rng.choice(n_rows, size=rng.integers(2, 6), replace=False)
+            )
+            for _ in range(batch)
+        ]
+        weights = [[int(rng.integers(1, 4)) for _ in q] for q in rows]
+        out.append((rows, weights))
+    return out
+
+
+class TestClusterEndToEnd:
+    """Coordinator + in-process node servers on one event loop."""
+
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_honest_cluster_is_bit_identical(self):
+        store = _make_store(n_rows=48)
+        batches = _batches(48)
+        expected = [store.sls_many("emb", r, w) for r, w in batches]
+
+        async def scenario():
+            async with NodeServer("n0") as s0, NodeServer("n1") as s1:
+                coordinator = ClusterCoordinator(
+                    store,
+                    [(s.name, s.host, s.port) for s in (s0, s1)],
+                    task_timeout_s=5.0,
+                )
+                async with coordinator:
+                    for (rows, ws), want in zip(batches, expected):
+                        got = await coordinator.sls_many("emb", rows, ws)
+                        assert np.array_equal(got, want)
+                    assert coordinator.stats()["live"] == ["n0", "n1"]
+
+        self._run(scenario())
+
+    def test_byzantine_node_is_blamed_quarantined_resharded(self):
+        store = _make_store(n_rows=48)
+        batches = _batches(48)
+        expected = [store.sls_many("emb", r, w) for r, w in batches]
+        own_log = obs.event_log() is None
+        if own_log:
+            obs.enable_events()
+        log = obs.event_log()
+        start = len(log)
+
+        async def scenario():
+            async with NodeServer("n0") as s0, NodeServer("n1") as s1:
+                coordinator = ClusterCoordinator(
+                    store,
+                    [(s.name, s.host, s.port) for s in (s0, s1)],
+                    task_timeout_s=5.0,
+                    fault_injector=ScriptedDirectives(
+                        {"n1": [(0, ("byzantine",))]}
+                    ),
+                )
+                async with coordinator:
+                    for (rows, ws), want in zip(batches, expected):
+                        got = await coordinator.sls_many("emb", rows, ws)
+                        assert np.array_equal(got, want)
+                    stats = coordinator.stats()
+                    assert stats["quarantined"] == ["n1"]
+                    assert stats["live"] == ["n0"]
+
+        try:
+            self._run(scenario())
+            events = log.events()[start:]
+        finally:
+            if own_log:
+                obs.disable_events()
+        kinds = [e.kind for e in events]
+        assert obs.NODE_BLAME in kinds
+        assert obs.NODE_QUARANTINE in kinds
+        assert obs.NODE_RESHARD in kinds
+        blame = next(e for e in events if e.kind == obs.NODE_BLAME)
+        assert blame.worker == "n1"
+
+    def test_dead_node_fails_over_to_replica(self):
+        store = _make_store(n_rows=48)
+        batches = _batches(48)
+        expected = [store.sls_many("emb", r, w) for r, w in batches]
+
+        async def scenario():
+            async with NodeServer("n0") as s0, NodeServer("n1") as s1:
+                coordinator = ClusterCoordinator(
+                    store,
+                    [(s.name, s.host, s.port) for s in (s0, s1)],
+                    task_timeout_s=5.0,
+                    policy=RecoveryPolicy(backoff_base_s=1e-4, max_retries=1),
+                    fault_injector=ScriptedDirectives({"n1": [(0, ("dead",))]}),
+                )
+                async with coordinator:
+                    for (rows, ws), want in zip(batches, expected):
+                        got = await coordinator.sls_many("emb", rows, ws)
+                        assert np.array_equal(got, want)
+                    assert coordinator.stats()["quarantined"] == ["n1"]
+
+        self._run(scenario())
+
+    def test_all_nodes_quarantined_serves_locally(self):
+        store = _make_store(n_rows=48)
+        batches = _batches(48)
+        expected = [store.sls_many("emb", r, w) for r, w in batches]
+
+        async def scenario():
+            async with NodeServer("n0") as s0:
+                coordinator = ClusterCoordinator(
+                    store,
+                    [(s0.name, s0.host, s0.port)],
+                    task_timeout_s=5.0,
+                    policy=RecoveryPolicy(backoff_base_s=1e-4, max_retries=0),
+                    fault_injector=ScriptedDirectives({"n0": [(0, ("dead",))]}),
+                )
+                async with coordinator:
+                    for (rows, ws), want in zip(batches, expected):
+                        got = await coordinator.sls_many("emb", rows, ws)
+                        assert np.array_equal(got, want)
+                    stats = coordinator.stats()
+                    assert stats["live"] == []
+                    assert coordinator.shard_map is None
+
+        self._run(scenario())
+
+    def test_partitioned_node_times_out_and_is_blamed(self):
+        store = _make_store(n_rows=48)
+        rows, ws = [[1, 40]], [[1, 1]]
+        want = store.sls_many("emb", rows, ws)
+
+        async def scenario():
+            async with NodeServer("n0") as s0, NodeServer("n1") as s1:
+                coordinator = ClusterCoordinator(
+                    store,
+                    [(s.name, s.host, s.port) for s in (s0, s1)],
+                    task_timeout_s=0.2,
+                    policy=RecoveryPolicy(backoff_base_s=1e-4, max_retries=0),
+                    fault_injector=ScriptedDirectives(
+                        {"n1": [(0, ("partition",))]}
+                    ),
+                )
+                async with coordinator:
+                    got = await coordinator.sls_many("emb", rows, ws)
+                    assert np.array_equal(got, want)
+                    assert "n1" in coordinator.stats()["quarantined"]
+
+        self._run(scenario())
+
+    def test_node_requires_assignment_before_partial_sum(self):
+        async def scenario():
+            async with NodeServer("n0") as server:
+                client = NodeClient("n0", server.host, server.port)
+                payload = codec.encode_queries([[0]], [[1]])
+                with pytest.raises(ConfigurationError):
+                    await client.request(
+                        "partial_sum", table="emb", payload=payload, timeout=5.0
+                    )
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_coordinator_requires_verifying_store(self):
+        store = _make_store()
+        store.verify = False
+        with pytest.raises(ConfigurationError):
+            ClusterCoordinator(store, [("n0", "127.0.0.1", 1)])
+
+
+class TestNodeProtocol:
+    def test_node_request_round_trip_and_validation(self):
+        req = NodeRequest(
+            id=3, op="shard_assign", table="emb", payload={"x": 1}
+        )
+        assert NodeRequest.from_wire(req.to_wire()) == req
+        with pytest.raises(ConfigurationError):
+            NodeRequest(id=1, op="launch_missiles")
+        resp = NodeResponse(id=3, status="ok", payload={"node": "n0"})
+        assert NodeResponse.from_wire(resp.to_wire()) == resp
+
+    def test_heartbeat_reports_assigned_tables(self):
+        store = _make_store(n_rows=16, dim=4)
+
+        async def scenario():
+            async with NodeServer("n0") as server:
+                client = NodeClient("n0", server.host, server.port)
+                assert await client.heartbeat(timeout=5.0)
+                coordinator = ClusterCoordinator(
+                    store, [client], task_timeout_s=5.0
+                )
+                await coordinator.setup()
+                response = await client.request("heartbeat", timeout=5.0)
+                assert response.payload["tables"] == ["emb"]
+                await coordinator.close()
+
+        asyncio.run(scenario())
+
+
+class TestReconnect:
+    """Satellite: AsyncSlsClient survives a server restart."""
+
+    def _store_server(self):
+        store = _make_store(n_rows=32, dim=4)
+        return store, SlsServer(store, host="127.0.0.1", port=0)
+
+    def test_client_reconnects_after_server_restart(self):
+        store, server = self._store_server()
+        rows = [1, 2, 3]
+        want = store.sls("emb", rows)
+
+        async def scenario():
+            await server.start()
+            port = server.port
+            client = await AsyncSlsClient.connect(
+                "127.0.0.1", port, backoff_base_s=0.01, backoff_cap_s=0.05
+            )
+            got = await client.sls("emb", rows)
+            assert np.allclose(got, want)
+            # Restart the server on the same port, then sever the old
+            # connection abruptly (RST, as a crashed peer would): the
+            # client must dial again on its own and the next request
+            # must succeed without a new connect().
+            await server.close()
+            store2, server2 = self._store_server()
+            server2.port = port
+            await server2.start()
+            client._writer.transport.abort()
+            try:
+                got = await client.sls("emb", rows)
+                assert np.allclose(got, store2.sls("emb", rows))
+            finally:
+                await client.close()
+                await server2.close()
+
+        obs.enable()
+        asyncio.run(scenario())
+        assert obs.get_registry().counter("serve.client.reconnects") >= 1
+
+    def test_reconnect_disabled_raises_server_closed(self):
+        store, server = self._store_server()
+
+        async def scenario():
+            await server.start()
+            client = await AsyncSlsClient.connect(
+                "127.0.0.1", server.port, reconnect=False
+            )
+            await server.close()
+            client._writer.transport.abort()
+            with pytest.raises(ServerClosedError):
+                # The write may land in a dead socket buffer; the read
+                # loop surfaces the close either way.
+                for _ in range(10):
+                    await client.sls("emb", [1])
+            await client.close()
+
+        asyncio.run(scenario())
+
+    def test_reconnect_gives_up_when_server_stays_down(self):
+        store, server = self._store_server()
+
+        async def scenario():
+            await server.start()
+            client = await AsyncSlsClient.connect(
+                "127.0.0.1",
+                server.port,
+                max_reconnects=2,
+                backoff_base_s=0.005,
+                backoff_cap_s=0.01,
+            )
+            await server.close()  # nothing ever listens again
+            client._writer.transport.abort()
+            with pytest.raises(ServerClosedError):
+                for _ in range(10):
+                    await client.sls("emb", [1])
+            await client.close()
+
+        asyncio.run(scenario())
+
+
+class TestHeartbeatDeadline:
+    """Satellite: liveness probes bound the wait on silent peers."""
+
+    def test_resolve_heartbeat_timeout_env_and_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_HEARTBEAT_TIMEOUT, raising=False)
+        assert resolve_heartbeat_timeout(None) == DEFAULT_HEARTBEAT_TIMEOUT_S
+        assert resolve_heartbeat_timeout(1.5) == 1.5
+        monkeypatch.setenv(ENV_HEARTBEAT_TIMEOUT, "0.25")
+        assert resolve_heartbeat_timeout(None) == 0.25
+        monkeypatch.setenv(ENV_HEARTBEAT_TIMEOUT, "not-a-number")
+        with pytest.raises(ConfigurationError):
+            resolve_heartbeat_timeout(None)
+
+    def test_heartbeat_times_out_on_silent_peer(self):
+        async def scenario():
+            async def swallow(reader, writer):
+                await reader.read(-1)  # never answers
+
+            silent = await asyncio.start_server(swallow, "127.0.0.1", 0)
+            port = silent.sockets[0].getsockname()[1]
+            client = await AsyncSlsClient.connect(
+                "127.0.0.1", port, reconnect=False
+            )
+            assert not await client.heartbeat(timeout=0.1)
+            await client.close()
+            silent.close()
+            await silent.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_heartbeat_ok_against_live_server(self):
+        store = _make_store(n_rows=16, dim=4)
+
+        async def scenario():
+            server = SlsServer(store, host="127.0.0.1", port=0)
+            await server.start()
+            client = await AsyncSlsClient.connect("127.0.0.1", server.port)
+            assert await client.ping()
+            assert await client.heartbeat()
+            await client.close()
+            await server.close()
+
+        asyncio.run(scenario())
+
+    def test_node_client_timeout_raises_peer_timeout(self):
+        async def scenario():
+            async def swallow(reader, writer):
+                await reader.read(-1)
+
+            silent = await asyncio.start_server(swallow, "127.0.0.1", 0)
+            port = silent.sockets[0].getsockname()[1]
+            client = NodeClient("mute", "127.0.0.1", port)
+            with pytest.raises(PeerTimeoutError):
+                await client.request("heartbeat", timeout=0.1)
+            await client.close()
+            silent.close()
+            await silent.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestJournalReplay:
+    """Satellite: quarantine journal survives restarts; streams merge."""
+
+    def _run_cluster_with_journal(self, path, node_scripts, seed=5):
+        store = _make_store(n_rows=48, seed=seed)
+        batches = _batches(48, seed=seed)
+        obs.enable_events(str(path))
+        try:
+
+            async def scenario():
+                async with NodeServer("n0") as s0, NodeServer("n1") as s1:
+                    coordinator = ClusterCoordinator(
+                        store,
+                        [(s.name, s.host, s.port) for s in (s0, s1)],
+                        task_timeout_s=5.0,
+                        policy=RecoveryPolicy(backoff_base_s=1e-4, max_retries=0),
+                        fault_injector=ScriptedDirectives(node_scripts),
+                    )
+                    async with coordinator:
+                        for rows, ws in batches:
+                            await coordinator.sls_many("emb", rows, ws)
+
+            asyncio.run(scenario())
+        finally:
+            obs.disable_events()
+
+    def test_blame_state_replays_across_process_restart(self, tmp_path):
+        journal = tmp_path / "audit.jsonl"
+        # "Process 1" blames and quarantines n1, then exits.
+        self._run_cluster_with_journal(
+            journal, {"n1": [(0, ("byzantine",))]}
+        )
+        # "Process 2" (fresh interpreter state) replays the journal.
+        health = ClusterHealth.from_journals([journal])
+        assert health.quarantined == ["n1"]
+        assert health.reshards >= 1
+        assert health.ranking and health.ranking[0][0] == "n1"
+        # Appending a second run to the same journal accumulates state.
+        self._run_cluster_with_journal(
+            journal, {"n0": [(0, ("byzantine",))]}, seed=6
+        )
+        health2 = ClusterHealth.from_journals([journal])
+        assert set(health2.quarantined) == {"n0", "n1"}
+        assert health2.reshards >= 2
+
+    def test_multi_stream_merge_is_blame_ranked(self, tmp_path):
+        a, b = tmp_path / "host_a.jsonl", tmp_path / "host_b.jsonl"
+        # Host A sees n1 forge twice; host B sees n0 time out once.
+        self._run_cluster_with_journal(a, {"n1": [(0, ("byzantine",))]})
+        self._run_cluster_with_journal(
+            b, {"n0": [(1, ("partition",))]}, seed=7
+        )
+        merged = merge_event_streams([a, b])
+        assert [
+            (e.ts, e.pid, e.seq) for e in merged
+        ] == sorted((e.ts, e.pid, e.seq) for e in merged)
+        ranking = dict(blame_ranking(merged))
+        # Cryptographic evidence (forged share, weight 3) outranks a
+        # liveness timeout (weight 1).
+        assert ranking["n1"] > ranking["n0"] > 0
+        health = ClusterHealth.from_events(merged)
+        assert health.ranking[0][0] == "n1"
+        assert "blame ranking" in health.render()
+
+    def test_merge_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self._run_cluster_with_journal(path, {"n1": [(0, ("byzantine",))]})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "node_blame", "worker": "n0"')  # torn line
+        merged = merge_event_streams([path])
+        assert all(e.kind for e in merged)
+        assert "n0" not in dict(blame_ranking(merged))
+
+
+class TestClusterChaos:
+    """The acceptance gates, via the harness the CI smoke job runs."""
+
+    def test_scripted_smoke_passes_every_gate(self):
+        result = run_cluster_chaos(
+            n_nodes=3,
+            script=smoke_script(),
+            n_batches=6,
+            batch=4,
+            rows_per_table=96,
+            dim=8,
+        )
+        assert result.bit_identical
+        assert result.blame_precision == 1.0
+        assert result.blame_recall == 1.0
+        assert result.passed
+        assert set(result.quarantined_nodes) == {"node1", "node2"}
+        assert result.reshards >= 2
+        assert result.events.get("node_blame", 0) >= 1
+        assert result.events.get("node_dead", 0) >= 1
+        text = result.render()
+        assert "PASS" in text and "precision 1.000" in text
+
+    def test_seeded_chaos_cluster_preset_passes(self):
+        result = run_cluster_chaos(
+            n_nodes=3, n_batches=8, batch=6, rows_per_table=96, dim=8,
+            task_timeout_s=1.0,
+        )
+        assert result.passed
+
+    def test_fault_free_run_has_no_blame(self):
+        result = run_cluster_chaos(
+            n_nodes=2,
+            script={},
+            n_batches=3,
+            batch=4,
+            rows_per_table=64,
+            dim=8,
+        )
+        assert result.passed
+        assert result.blamed_nodes == []
+        assert result.faulted_nodes == []
+        assert result.quarantined_nodes == []
+
+
+class TestProcessCluster:
+    """Real OS processes (spawn): the CI smoke job's third leg."""
+
+    def test_process_smoke_sigkill_and_byzantine(self):
+        from repro.cluster import run_process_cluster_smoke
+
+        result = run_process_cluster_smoke(n_nodes=3, n_batches=6)
+        assert result.passed
+        assert set(result.faulted_nodes) == {"node1", "node2"}
+        assert result.reshards >= 2

@@ -29,6 +29,7 @@ from repro.errors import (
 )
 from repro.faults import (
     MEMORY_FAULTS,
+    NODE_FAULTS,
     PRESET_PLANS,
     TRANSIENT_FAULTS,
     FaultInjector,
@@ -117,7 +118,7 @@ class TestFaultPlan:
         grouped = set(MEMORY_FAULTS) | set(TRANSIENT_FAULTS)
         packet = {FaultKind.PACKET_DROP, FaultKind.PACKET_DUP, FaultKind.PACKET_DELAY}
         worker = {FaultKind.WORKER_CRASH, FaultKind.WORKER_RAISE, FaultKind.WORKER_HANG}
-        assert grouped | packet | worker == set(FaultKind)
+        assert grouped | packet | worker | set(NODE_FAULTS) == set(FaultKind)
 
 
 # -- injector ------------------------------------------------------------------
