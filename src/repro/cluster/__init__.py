@@ -7,8 +7,10 @@ DESIGN.md Sec. 16), so a wrong answer names its node before the ring
 recombine ever runs.  The pieces:
 
 * :mod:`~repro.cluster.node` — one node: a TCP server
-  (:class:`NodeServer`) computing partial-sum shares over its encrypted
-  replica, plus the coordinator-side :class:`NodeClient`.
+  (:class:`NodeServer`) playing the *untrusted memory party* — it holds
+  only ciphertext replicas (never key material) and returns
+  ciphertext-domain sums — plus the coordinator-side
+  :class:`NodeClient`.
 * :mod:`~repro.cluster.coordinator` — :class:`ClusterCoordinator`:
   row-range sharding (:class:`ShardMap`), per-shard verification, and
   the recovery ladder (retry → replica failover / local recompute →

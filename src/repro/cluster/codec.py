@@ -7,28 +7,37 @@ plain JSON-able values:
 * encrypted tables travel as the :mod:`repro.core.serialization` binary
   container, base64-armoured — ciphertext and encrypted tags are
   untrusted data and the container is already self-describing;
-* :class:`~repro.core.protocol.PartialSumShare` values are ring residues
-  (ints) and 127-bit field elements, which JSON handles natively as
-  Python bigints;
+* node answers are *ciphertext-domain* sums (``C_res`` ring residues and
+  ``C_T_res`` 127-bit field elements, which JSON handles natively as
+  Python bigints) — see :meth:`UntrustedNdpDevice.partial_sum_batch`;
 * :class:`~repro.core.params.SecNDPParams` ships as its constructor
   fields (the counter-block layout is the default everywhere in this
   repo, so only widths and the tag modulus travel).
 
-The processor key rides in ``shard_assign`` as base64: cluster NDP
-nodes are *trusted-side* workers (exactly like the parallel engine's
-pool workers receiving a ``_PoolSpec``), not the untrusted memory party.
+No key material ever crosses this wire: cluster NDP nodes are the
+*untrusted* memory party of the SecNDP threat model, so ``shard_assign``
+carries only public params and already-encrypted tables, and
+``partial_sum`` responses carry only sums over that ciphertext.  The
+trusted coordinator regenerates every pad share locally (the in-process
+parallel engine's pool workers, by contrast, are trusted-side and do
+receive the key via ``_PoolSpec``).
+
+Every decoder treats its input as attacker-controlled: malformed
+structure, non-integers, and out-of-range values (including the
+``OverflowError`` a hostile bigint raises on the ``uint64`` cast) all
+surface as :class:`~repro.errors.ConfigurationError`, which the
+coordinator's recovery ladder converts into blame on the sending node.
 """
 
 from __future__ import annotations
 
 import base64
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.encryption import EncryptedMatrix
 from ..core.params import SecNDPParams
-from ..core.protocol import PartialSumShare
 from ..core.serialization import deserialize_matrix, serialize_matrix
 from ..errors import ConfigurationError
 
@@ -37,10 +46,8 @@ __all__ = [
     "decode_params",
     "encode_table",
     "decode_table",
-    "encode_share",
-    "decode_share",
-    "encode_key",
-    "decode_key",
+    "encode_device_sums",
+    "decode_device_sums",
     "encode_queries",
     "decode_queries",
 ]
@@ -63,17 +70,6 @@ def decode_params(payload: Dict[str, Any]) -> SecNDPParams:
         raise ConfigurationError(f"bad params payload: {exc}") from exc
 
 
-def encode_key(key: bytes) -> str:
-    return base64.b64encode(key).decode("ascii")
-
-
-def decode_key(payload: str) -> bytes:
-    try:
-        return base64.b64decode(payload)
-    except (TypeError, ValueError) as exc:
-        raise ConfigurationError(f"bad key payload: {exc}") from exc
-
-
 def encode_table(enc: EncryptedMatrix) -> str:
     return base64.b64encode(serialize_matrix(enc)).decode("ascii")
 
@@ -86,31 +82,43 @@ def decode_table(payload: str, params: SecNDPParams) -> EncryptedMatrix:
     return deserialize_matrix(blob, params)
 
 
-def encode_share(part: PartialSumShare) -> Dict[str, Any]:
+def encode_device_sums(
+    values: np.ndarray, tag_sums: Optional[Sequence[int]]
+) -> Dict[str, Any]:
+    """Node → coordinator: ciphertext-domain sums, nothing decryptable."""
     return {
-        "values": [[int(v) for v in row] for row in np.asarray(part.values)],
-        "tag_shares": (
-            None
-            if part.tag_shares is None
-            else [int(t) for t in part.tag_shares]
+        "values": [[int(v) for v in row] for row in np.asarray(values)],
+        "tag_sums": (
+            None if tag_sums is None else [int(t) for t in tag_sums]
         ),
     }
 
 
-def decode_share(payload: Dict[str, Any], params: SecNDPParams) -> PartialSumShare:
+def decode_device_sums(
+    payload: Dict[str, Any], params: SecNDPParams
+) -> Tuple[np.ndarray, Optional[List[int]]]:
+    """Decode an untrusted node's sums defensively.
+
+    A hostile node controls every byte here: values outside the ring
+    dtype raise ``OverflowError`` on the cast and are mapped — like any
+    other malformed structure — to :class:`ConfigurationError` so the
+    dispatch ladder can blame the sender; tag sums are reduced into the
+    field so later exact field arithmetic never sees unbounded bigints.
+    """
+    modulus = int(params.tag_modulus)
     try:
         values = np.asarray(payload["values"], dtype=np.uint64).astype(
             params.ring().dtype
         )
         if values.ndim == 1:  # zero-query batch serializes as []
             values = values.reshape(0, 0)
-        tags = payload.get("tag_shares")
-        tag_shares: Optional[List[int]] = (
-            None if tags is None else [int(t) for t in tags]
+        tags = payload.get("tag_sums")
+        tag_sums: Optional[List[int]] = (
+            None if tags is None else [int(t) % modulus for t in tags]
         )
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ConfigurationError(f"bad share payload: {exc}") from exc
-    return PartialSumShare(values=values, tag_shares=tag_shares)
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
+        raise ConfigurationError(f"bad device sums payload: {exc}") from exc
+    return values, tag_sums
 
 
 def encode_queries(

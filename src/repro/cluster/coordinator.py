@@ -1,32 +1,45 @@
 """Trusted coordinator: shard, dispatch, blame, fail over, re-shard.
 
 The cluster analogue of :class:`~repro.parallel.engine.ParallelSlsEngine`
-with the trust boundary moved across TCP.  The coordinator owns the
-authoritative :class:`~repro.workloads.secure_sls.SecureEmbeddingStore`
-(its local device doubles as the trusted recompute path) and treats
-every node's *answers* as untrusted until the per-shard tag check
-passes:
+with the trust boundary moved across TCP — and, unlike the in-process
+pool (whose workers are trusted-side and share the key), the nodes on
+the far side of that TCP link are the *untrusted memory party* of the
+SecNDP threat model.  The coordinator owns the authoritative
+:class:`~repro.workloads.secure_sls.SecureEmbeddingStore` (its local
+device doubles as the trusted recompute path) and is the only party
+that ever holds key material:
 
-1. **Shard**: tables are replicated to every node; row-range ownership
-   is logical (``np.linspace`` bounds over the row space, like the
-   parallel engine), so re-sharding is a bounds update with no data
-   movement.
+1. **Shard**: encrypted tables (ciphertext + encrypted tags, both
+   attacker-visible by assumption) are replicated to every node;
+   row-range ownership is logical (``np.linspace`` bounds over the row
+   space, like the parallel engine), so re-sharding is a bounds update
+   with no data movement.  The key never leaves this process.
 2. **Dispatch**: each query batch is masked per owner range and fanned
-   out as ``partial_sum`` frames under a deadline.
-3. **Blame**: each returned share is verified against its *own*
+   out as ``partial_sum`` frames under a deadline.  A node answers with
+   ciphertext-domain sums only (``C_res`` / ``C_T_res``); the
+   coordinator regenerates the pad halves (``E_res`` / ``E_T_res``)
+   key-side and adds them to reconstruct the shard's share
+   (:meth:`~repro.core.protocol.SecNDPProcessor.pad_share_batch` +
+   :meth:`~repro.core.protocol.SecNDPProcessor.combine_device_sums`).
+3. **Blame**: each reconstructed share is verified against its *own*
    restricted checksum
    (:meth:`~repro.core.protocol.SecNDPProcessor.failed_share_queries`)
-   before any combining — a mismatch blames exactly that node
-   (publicly-identifiable abort).  Timeouts and dead connections blame
-   the node on liveness.
+   before any combining — since the pad half is computed honestly here,
+   a mismatch is cryptographic evidence against exactly that node
+   (publicly-identifiable abort), up to the scheme's forgery bound.
+   Error frames and structurally malformed sums blame the node the same
+   way; timeouts and dead connections blame it on liveness.
 4. **Recover**: bounded same-node retries with deterministic
    backoff+jitter, then re-issue to a healthy replica, then trusted
    local recompute.  Every share that enters the final combine passed
    its per-shard check, and ring/field addition is exact, so answers
    stay bit-identical to the sequential single-host oracle.
-5. **Quarantine**: a node whose blame count crosses the threshold is
-   removed from the shard map and its rows re-owned by survivors;
-   every step lands in the audit journal (``node_blame`` /
+5. **Quarantine**: blame strikes are weighted by evidence strength
+   (:data:`~repro.cluster.health.BLAME_WEIGHTS`: forged share 3,
+   dropped connection 2, deadline miss 1 — the same table the offline
+   journal ranking uses); a node whose weighted count crosses the
+   threshold is removed from the shard map and its rows re-owned by
+   survivors.  Every step lands in the audit journal (``node_blame`` /
    ``node_quarantine`` / ``node_reshard`` / ``node_timeout`` /
    ``node_dead``), making the journal the cross-host shard-health
    record.
@@ -40,6 +53,7 @@ identities are exact over residues, but a whole-query ring overflow
 from __future__ import annotations
 
 import asyncio
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,14 +71,19 @@ from ..errors import (
 )
 from ..faults.recovery import RecoveryPolicy
 from ..serve.protocol import resolve_heartbeat_timeout
+from .health import BLAME_WEIGHTS
 from .node import NodeClient
 from . import codec
 
 __all__ = ["ClusterCoordinator", "ShardMap", "DEFAULT_BLAME_THRESHOLD"]
 
-#: Blame strikes before a node is quarantined.  1 = zero tolerance: a
-#: single forged share (cryptographic evidence) or missed deadline
-#: removes the node; raise it when transient slowness is expected.
+#: Weighted blame strikes before a node is quarantined.  1 = zero
+#: tolerance: every failure kind carries weight >= 1
+#: (:data:`~repro.cluster.health.BLAME_WEIGHTS`), so a single forged
+#: share (cryptographic evidence) or missed deadline removes the node;
+#: raise it when transient slowness is expected — then a forged share
+#: (weight 3) still quarantines three times faster than deadline misses
+#: (weight 1).
 DEFAULT_BLAME_THRESHOLD = 1
 
 
@@ -109,9 +128,9 @@ class ClusterCoordinator:
     ----------
     store:
         The authoritative store; its tables define the shard map, its
-        processor performs per-shard verification and final combining,
-        and its (honest, local) device is the trusted recompute path of
-        last resort.
+        processor holds the key and performs pad regeneration, per-shard
+        verification and final combining, and its (honest, local) device
+        is the trusted recompute path of last resort.
     nodes:
         ``(name, host, port)`` triples or connected :class:`NodeClient`\\ s.
     policy:
@@ -121,7 +140,9 @@ class ClusterCoordinator:
         Per-dispatch deadline; ``None`` resolves the heartbeat default
         (``SECNDP_HEARTBEAT_TIMEOUT``).
     blame_threshold:
-        Strikes before quarantine (:data:`DEFAULT_BLAME_THRESHOLD`).
+        Weighted strikes before quarantine
+        (:data:`DEFAULT_BLAME_THRESHOLD`; weights from
+        :data:`~repro.cluster.health.BLAME_WEIGHTS`).
     fault_injector:
         Optional :class:`~repro.faults.plan.FaultInjector` whose
         :meth:`node_directive` draws ship with each dispatch (chaos
@@ -160,16 +181,22 @@ class ClusterCoordinator:
         self.fault_injector = fault_injector
         self.live: List[str] = list(self.clients)
         self.quarantined: List[str] = []
-        self.blame_counts: Dict[str, int] = {name: 0 for name in self.clients}
+        # Weighted strikes (BLAME_WEIGHTS), not raw event counts.
+        self.blame_counts: Dict[str, float] = {name: 0.0 for name in self.clients}
         self.shard_map: Optional[ShardMap] = None
         self._dispatch_seq = 0
 
     # -- lifecycle -------------------------------------------------------------
 
     async def setup(self) -> "ClusterCoordinator":
-        """Connect every node and ship key, params and table replicas."""
+        """Connect every node and ship params and encrypted table replicas.
+
+        Only public scheme params and already-encrypted tables travel —
+        never key material; a node that stored them learns nothing
+        beyond what the SecNDP threat model already concedes to the
+        untrusted memory (ciphertext, tags, and access patterns).
+        """
         params = self.store.processor.params
-        key = self.store.processor.cipher.key
         tables = {
             name: codec.encode_table(self.store.device.stored(name))
             for name in self.store.tables()
@@ -188,7 +215,6 @@ class ClusterCoordinator:
                 "shard_assign",
                 payload={
                     "params": codec.encode_params(params),
-                    "key": codec.encode_key(key),
                     "tables": tables,
                     "ranges": {
                         t: list(r) for t, r in self.shard_map.ranges_for(name).items()
@@ -233,7 +259,7 @@ class ClusterCoordinator:
             if not alive[name]:
                 obs.emit_event(obs.NODE_DEAD, worker=name, probe="heartbeat")
                 obs.inc("cluster.dispatch.dead")
-                await self._blame(name, "heartbeat")
+                await self._blame(name, obs.NODE_DEAD, "heartbeat")
         return alive
 
     # -- serving ---------------------------------------------------------------
@@ -314,7 +340,9 @@ class ClusterCoordinator:
         """
         self._dispatch_seq += 1
         dispatch = self._dispatch_seq
-        salt = hash(node) & 0x7FFFFFFF
+        # Stable per-node salt (not hash(): PYTHONHASHSEED would make the
+        # jitter differ across runs; all chaos randomness stays seeded).
+        salt = zlib.crc32(node.encode("utf-8")) & 0x7FFFFFFF
         tried: List[str] = []
         # A node quarantined earlier in this same batch skips straight to
         # a healthy replica (its mask is still this dispatch's row set).
@@ -344,19 +372,35 @@ class ClusterCoordinator:
                     queries=list(exc.queries),
                     dispatch=dispatch,
                 )
-                await self._blame(target, f"dispatch:{dispatch}")
+                await self._blame(target, obs.NODE_BLAME, f"dispatch:{dispatch}")
+            except ConfigurationError as exc:
+                # An error-status frame or a structurally malformed
+                # payload from the node: not a cryptographic forgery,
+                # but unambiguous misbehaviour of this node on a
+                # well-formed request — blame it and re-serve the
+                # sub-batch like any other bad answer.
+                obs.inc("cluster.blame")
+                obs.inc("cluster.dispatch.blamed")
+                obs.emit_event(
+                    obs.NODE_BLAME,
+                    table=name,
+                    worker=target,
+                    dispatch=dispatch,
+                    reason=str(exc),
+                )
+                await self._blame(target, obs.NODE_BLAME, f"dispatch:{dispatch}")
             except PeerTimeoutError:
                 obs.inc("cluster.dispatch.timeout")
                 obs.emit_event(
                     obs.NODE_TIMEOUT, table=name, worker=target, dispatch=dispatch
                 )
-                await self._blame(target, f"dispatch:{dispatch}")
+                await self._blame(target, obs.NODE_TIMEOUT, f"dispatch:{dispatch}")
             except (ServerClosedError, ConnectionError, OSError):
                 obs.inc("cluster.dispatch.dead")
                 obs.emit_event(
                     obs.NODE_DEAD, table=name, worker=target, dispatch=dispatch
                 )
-                await self._blame(target, f"dispatch:{dispatch}")
+                await self._blame(target, obs.NODE_DEAD, f"dispatch:{dispatch}")
             tried.append(target)
             # Rung 1: bounded retry against the same node (unless it was
             # just quarantined) with deterministic backoff+jitter.
@@ -390,22 +434,36 @@ class ClusterCoordinator:
             "partial_sum", table=name, payload=payload,
             timeout=self.task_timeout_s,
         )
-        share = codec.decode_share(
-            response.payload.get("share", {}), self.store.processor.params
-        )
-        n_q, n_cols = len(batch_rows), self.store.device.stored(name).ciphertext.shape[1]
-        if share.values.shape != (n_q, n_cols) or share.tag_shares is None:
+        enc = self.store.device.stored(name)
+        n_q, n_cols = len(batch_rows), int(enc.ciphertext.shape[1])
+        try:
+            values, tag_sums = codec.decode_device_sums(
+                response.payload.get("sums", {}), self.store.processor.params
+            )
+        except ConfigurationError as exc:
             raise ShardVerificationError(
-                f"malformed share from node {node!r}: shape "
-                f"{share.values.shape} (want {(n_q, n_cols)})",
+                f"malformed device sums from node {node!r}: {exc}",
+                shard=node,
+                queries=range(n_q),
+            ) from exc
+        if values.shape != (n_q, n_cols) or tag_sums is None or len(tag_sums) != n_q:
+            raise ShardVerificationError(
+                f"malformed device sums from node {node!r}: shape "
+                f"{values.shape} (want {(n_q, n_cols)})",
                 shard=node,
                 queries=range(n_q),
             )
-        # The crypto core: this node's share must satisfy its own
-        # restricted checksum before it may enter the combine.
-        self.store.processor.verify_partial_share(
-            self.store.device.stored(name), name, share, shard=node
+        # The crypto core: the node only returned ciphertext-domain sums;
+        # the pad halves are regenerated here, key-side, so the key never
+        # crossed the wire — and the reconstructed share must satisfy its
+        # own restricted checksum before it may enter the combine.  The
+        # pad half is honest by construction, so a failure is evidence
+        # against exactly this node.
+        pad = self.store.processor.pad_share_batch(
+            enc, name, batch_rows, batch_weights, with_tag_shares=True
         )
+        share = self.store.processor.combine_device_sums(pad, values, tag_sums)
+        self.store.processor.verify_partial_share(enc, name, share, shard=node)
         return share
 
     def _local_share(
@@ -442,8 +500,16 @@ class ClusterCoordinator:
 
     # -- blame / quarantine / re-shard -----------------------------------------
 
-    async def _blame(self, node: str, context: str) -> None:
-        self.blame_counts[node] = self.blame_counts.get(node, 0) + 1
+    async def _blame(self, node: str, kind: str, context: str) -> None:
+        """Add ``kind``'s weighted strikes (shared with the journal view).
+
+        Live quarantine and the offline :func:`~repro.cluster.health.
+        blame_ranking` use the same :data:`~repro.cluster.health.
+        BLAME_WEIGHTS` table, so replaying the journal reproduces the
+        ordering the coordinator acted on.
+        """
+        weight = BLAME_WEIGHTS.get(kind, 1.0)
+        self.blame_counts[node] = self.blame_counts.get(node, 0.0) + weight
         if node in self.live and self.blame_counts[node] >= self.blame_threshold:
             await self._quarantine(node, context)
 
@@ -480,14 +546,12 @@ class ClusterCoordinator:
             },
         )
         params = self.store.processor.params
-        key = self.store.processor.cipher.key
         for name in list(self.live):
             try:
                 await self.clients[name].request(
                     "shard_assign",
                     payload={
                         "params": codec.encode_params(params),
-                        "key": codec.encode_key(key),
                         "ranges": {
                             t: list(r)
                             for t, r in self.shard_map.ranges_for(name).items()
@@ -495,10 +559,16 @@ class ClusterCoordinator:
                     },
                     timeout=self.task_timeout_s,
                 )
-            except SecNDPError:
+            except SecNDPError as exc:
                 # A node that cannot take its new range is itself blamed;
                 # recursion terminates because live shrinks each time.
-                await self._blame(name, "reshard")
+                kind = (
+                    obs.NODE_TIMEOUT
+                    if isinstance(exc, PeerTimeoutError)
+                    else obs.NODE_DEAD
+                )
+                obs.emit_event(kind, worker=name, context="reshard")
+                await self._blame(name, kind, "reshard")
         obs.inc("cluster.reshards")
         obs.emit_event(
             obs.NODE_RESHARD,

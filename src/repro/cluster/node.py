@@ -1,13 +1,21 @@
-"""One "NDP node": a TCP server computing partial sums over a replica.
+"""One "NDP node": a TCP server computing ciphertext sums over a replica.
 
-A node is a trusted-side worker process on an (assumed) separate host:
-it receives the processor key, scheme params and full encrypted tables
-in one ``shard_assign`` frame, then answers ``partial_sum`` requests by
-running :meth:`~repro.core.protocol.SecNDPProcessor.partial_row_sum_batch`
-over its local :class:`~repro.core.protocol.UntrustedNdpDevice` replica.
-Row-range *ownership* is purely logical (the coordinator masks each
-query to the owner's rows before dispatch), so re-sharding after a
-quarantine moves no data — any live node can stand in for any other.
+A node is the *untrusted* memory party of the SecNDP threat model,
+moved across TCP: it receives only public scheme params and the full
+encrypted tables (ciphertext + encrypted tags — both already
+attacker-visible by assumption) in one ``shard_assign`` frame, and
+answers ``partial_sum`` requests by running
+:meth:`~repro.core.protocol.UntrustedNdpDevice.partial_sum_batch` over
+its local replica: the weighted ring sums ``C_res`` and field tag sums
+``C_T_res`` an unprotected NDP PU would compute, nothing more.  No key
+material ever reaches a node — the trusted coordinator regenerates the
+pad halves itself and combines/verifies on its side, so a node can
+neither decrypt the tables it stores nor forge a partial sum that
+passes the per-shard check (except with the scheme's forgery
+probability).  Row-range *ownership* is purely logical (the coordinator
+masks each query to the owner's rows before dispatch), so re-sharding
+after a quarantine moves no data — any live node can stand in for any
+other.
 
 Fault obedience: chaos runs ship a ``directive`` inside ``partial_sum``
 payloads (decided coordinator-side by
@@ -24,7 +32,7 @@ import asyncio
 from typing import Any, Dict, Optional, Set
 
 from .. import obs
-from ..core.protocol import SecNDPProcessor, UntrustedNdpDevice
+from ..core.protocol import UntrustedNdpDevice
 from ..errors import ConfigurationError, PeerTimeoutError, SecNDPError, ServerClosedError
 from ..serve.protocol import (
     STATUS_ERROR,
@@ -50,7 +58,6 @@ class NodeServer:
         self.port = port
         self._codec = resolve_codec("json")
         self._server: Optional[asyncio.AbstractServer] = None
-        self._processor: Optional[SecNDPProcessor] = None
         self._device: Optional[UntrustedNdpDevice] = None
         self._range: Dict[str, Any] = {}
         self._closed = False
@@ -182,12 +189,12 @@ class NodeServer:
     def _assign(self, request: NodeRequest) -> NodeResponse:
         payload = request.payload
         params = codec.decode_params(payload.get("params", {}))
-        key = codec.decode_key(payload.get("key", ""))
-        # Fresh parties per assignment: a re-assignment (after re-shard)
-        # that only updates ranges sends no tables and keeps the replica.
+        # A fresh replica per table-bearing assignment; a re-assignment
+        # (after re-shard) that only updates ranges sends no tables and
+        # keeps the replica.  Only public params and ciphertext arrive —
+        # this party never holds key material.
         tables = payload.get("tables") or {}
-        if tables or self._processor is None:
-            self._processor = SecNDPProcessor(key, params)
+        if tables or self._device is None:
             self._device = UntrustedNdpDevice(params)
         for name, blob in tables.items():
             self._device.store(name, codec.decode_table(blob, params))
@@ -202,7 +209,7 @@ class NodeServer:
     async def _partial_sum(
         self, request: NodeRequest, writer: asyncio.StreamWriter
     ) -> Optional[NodeResponse]:
-        if self._processor is None or self._device is None:
+        if self._device is None:
             raise ConfigurationError(
                 f"node {self.name!r} has no shard assignment yet"
             )
@@ -224,23 +231,26 @@ class NodeServer:
                 await asyncio.sleep(float(directive[1]))
         batch_rows, batch_weights = codec.decode_queries(request.payload)
         name = request.table or ""
-        share = self._processor.partial_row_sum_batch(
-            self._device, name, batch_rows, batch_weights, with_tag_shares=True
+        values, tag_sums = self._device.partial_sum_batch(
+            name, batch_rows, batch_weights, with_tags=True
         )
         if directive and directive[0] == "byzantine":
-            # Forge every served query's tag share; the coordinator's
-            # per-shard check must blame exactly this node.
+            # Forge every served query's ciphertext tag sum; the
+            # coordinator's per-shard check must blame exactly this node.
             obs.inc("cluster.node.byzantine")
-            field = self._processor.field
-            share.tag_shares = [
+            field = self._device.field
+            tag_sums = [
                 field.add(t, 1) if rows else t
-                for t, rows in zip(share.tag_shares, batch_rows)
+                for t, rows in zip(tag_sums, batch_rows)
             ]
         obs.inc("cluster.node.partials")
         return NodeResponse(
             id=request.id,
             status=STATUS_OK,
-            payload={"node": self.name, "share": codec.encode_share(share)},
+            payload={
+                "node": self.name,
+                "sums": codec.encode_device_sums(values, tag_sums),
+            },
         )
 
 

@@ -24,7 +24,7 @@ verification detects it.  Applications are expected to budget
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,6 +165,48 @@ class UntrustedNdpDevice:
         if inj is not None:
             result = inj.perturb_tag(self.field, result, "device.tag_sum")
         return result
+
+    def partial_sum_batch(
+        self,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+        with_tags: bool = True,
+    ) -> Tuple[np.ndarray, Optional[List[int]]]:
+        """Ciphertext-domain halves of a sharded batch (Alg. 5 lines 5/15).
+
+        For each query ``q``: ``C_res[q] = sum_k a_k * C_{i_k}`` over the
+        stored ciphertext and, when ``with_tags``, ``C_T_res[q] = sum_k
+        a_k * C_{T_k}`` over the encrypted tags — computed entirely from
+        attacker-visible state, with no key material.  The trusted side
+        adds its pad halves (:meth:`SecNDPProcessor.pad_share_batch` via
+        :meth:`SecNDPProcessor.combine_device_sums`) to reconstruct the
+        shard's :class:`PartialSumShare`.  This is the whole wire
+        contract of a cluster NDP node: ciphertext sums go out, nothing
+        decryptable comes back.
+        """
+        if batch_weights is None:
+            batch_weights = [[1] * len(rows) for rows in batch_rows]
+        if len(batch_weights) != len(batch_rows):
+            raise ConfigurationError(
+                "batch_rows and batch_weights must have equal length"
+            )
+        if name not in self._store:
+            raise ConfigurationError(f"no matrix {name!r} stored on this device")
+        enc = self._store[name]
+        n_cols = int(enc.ciphertext.shape[1])
+        values = np.zeros((len(batch_rows), n_cols), dtype=self.ring.dtype)
+        tag_sums: Optional[List[int]] = [0] * len(batch_rows) if with_tags else None
+        for q, (rows, weights) in enumerate(zip(batch_rows, batch_weights)):
+            if not len(rows):
+                continue
+            weights_ring = self.ring.encode(np.asarray(weights))
+            values[q] = self.weighted_row_sum(name, rows, weights_ring)
+            if with_tags:
+                tag_sums[q] = self.weighted_tag_sum(
+                    name, rows, [int(w) for w in weights_ring]
+                )
+        return values, tag_sums
 
     # -- adversarial hooks -----------------------------------------------------
 
@@ -487,6 +529,111 @@ class SecNDPProcessor:
                     c_t_res = device.weighted_tag_sum(name, rows, weights_int)
                     tag_shares[q] = self.field.add(c_t_res, e_t_res)
         return PartialSumShare(values=values, tag_shares=tag_shares)
+
+    def pad_share_batch(
+        self,
+        enc: EncryptedMatrix,
+        name: str,
+        batch_rows: Sequence[Sequence[int]],
+        batch_weights: Optional[Sequence[Sequence[int]]] = None,
+        with_tag_shares: bool = True,
+    ) -> PartialSumShare:
+        """The trusted-side half of :meth:`partial_row_sum_batch`.
+
+        ``E_res[q] = sum_k a_k * pad_{i_k}`` per query (and, when
+        ``with_tag_shares``, the tag-pad sums ``E_T_res[q]``) — computed
+        entirely key-side, with no device interaction.  Adding an
+        untrusted device's ciphertext-domain sums
+        (:meth:`UntrustedNdpDevice.partial_sum_batch`) via
+        :meth:`combine_device_sums` reconstructs the shard's
+        :class:`PartialSumShare` bit-identically to running
+        :meth:`partial_row_sum_batch` against an honest device, while
+        the key never leaves the trusted side: a remote shard only ever
+        receives ciphertext and returns ciphertext sums.
+        """
+        if batch_weights is None:
+            batch_weights = [[1] * len(rows) for rows in batch_rows]
+        if len(batch_weights) != len(batch_rows):
+            raise ConfigurationError(
+                "batch_rows and batch_weights must have equal length"
+            )
+        n_cols = int(enc.ciphertext.shape[1])
+        values = np.zeros((len(batch_rows), n_cols), dtype=self.ring.dtype)
+        tag_shares: Optional[List[int]] = (
+            [0] * len(batch_rows) if with_tag_shares else None
+        )
+        nonempty = [
+            np.asarray(rows, dtype=np.int64).reshape(-1) for rows in batch_rows
+        ]
+        touched = [rows for rows in nonempty if rows.size]
+        if not touched:
+            return PartialSumShare(values=values, tag_shares=tag_shares)
+        all_rows = np.unique(np.concatenate(touched))
+        row_pos = {int(r): k for k, r in enumerate(all_rows)}
+        with obs.span("protocol.otp"):
+            pads = self.encryptor.pads_for_rows(self._pad_source(enc), all_rows)
+        tag_pads = None
+        if with_tag_shares:
+            if enc.tags is None or enc.checksum_version is None:
+                raise VerificationError(
+                    f"matrix {name!r} was encrypted without verification tags"
+                )
+            with obs.span("protocol.otp"):
+                tag_pads = self.mac.tag_pads_for_rows(enc, all_rows)
+        for q, (rows, weights) in enumerate(zip(nonempty, batch_weights)):
+            if not rows.size:
+                continue
+            weights_ring = self.ring.encode(np.asarray(weights))
+            idx = [row_pos[int(i)] for i in rows]
+            with obs.span("protocol.combine"):
+                values[q] = self.ring.dot(weights_ring, pads[idx])
+            if with_tag_shares:
+                with obs.span("protocol.verify"):
+                    tag_shares[q] = limb_field.field_dot(
+                        self.field,
+                        [int(w) for w in weights_ring],
+                        [tag_pads[k] for k in idx],
+                    )
+        return PartialSumShare(values=values, tag_shares=tag_shares)
+
+    def combine_device_sums(
+        self,
+        pad: PartialSumShare,
+        device_values: np.ndarray,
+        device_tag_sums: Optional[Sequence[int]] = None,
+    ) -> PartialSumShare:
+        """Add a device's ciphertext-domain sums onto the trusted pad half.
+
+        ``values = C_res + E_res`` in the ring and ``tag_shares =
+        C_T_res + E_T_res`` in the field: the decrypt-and-reconstruct
+        step of Alg. 5 with the two halves computed by different
+        parties.  The device inputs are untrusted — shape mismatches
+        raise :class:`ConfigurationError` so callers can blame the
+        shard that produced them; forged sums pass through and are
+        caught by :meth:`verify_partial_share`.
+        """
+        values = np.asarray(device_values, dtype=self.ring.dtype)
+        if values.shape != pad.values.shape:
+            raise ConfigurationError(
+                f"device sums shape {values.shape} does not match the "
+                f"pad share shape {pad.values.shape}"
+            )
+        tag_shares: Optional[List[int]] = None
+        if pad.tag_shares is not None:
+            if device_tag_sums is None or len(device_tag_sums) != len(
+                pad.tag_shares
+            ):
+                raise ConfigurationError(
+                    "device tag sums missing or mismatched against the "
+                    "pad share's tag shares"
+                )
+            tag_shares = [
+                self.field.add(int(c), int(e))
+                for c, e in zip(device_tag_sums, pad.tag_shares)
+            ]
+        return PartialSumShare(
+            values=self.ring.add(values, pad.values), tag_shares=tag_shares
+        )
 
     def failed_share_queries(
         self,
